@@ -1,0 +1,317 @@
+// Package abenet is a library for building and analysing asynchronous
+// bounded expected delay (ABE) networks, reproducing
+//
+//	R. Bakhshi, J. Endrullis, W. Fokkink, J. Pang.
+//	"Brief Announcement: Asynchronous Bounded Expected Delay Networks",
+//	PODC 2010 (full version: arXiv:1003.2084).
+//
+// The ABE model strengthens asynchronous networks with three known bounds
+// (Definition 1): δ on the expected message delay, [s_low, s_high] on local
+// clock speeds, and γ on the expected event-processing time. Every
+// asynchronous execution remains possible — only a bound on the delay's
+// expectation is assumed, not on the delay itself — which captures lossy
+// radio links with retransmission, congested links, and dynamic routing.
+//
+// The package exposes:
+//
+//   - the ABE model as machine-checkable parameters (Params, VerifyNetwork);
+//   - the paper's probabilistic leader-election algorithm for anonymous,
+//     unidirectional ABE rings of known size, with average linear time and
+//     message complexity (RunElection, A0ForRing);
+//   - baseline elections for comparison: Itai–Rodeh on synchronous and
+//     asynchronous anonymous rings, Chang–Roberts with identities
+//     (RunItaiRodehSync, RunItaiRodehAsync, RunChangRoberts);
+//   - synchronizers and the Theorem 1 measurement machinery: the round and
+//     α synchronizers (≥ n messages per round) and the clock-driven ABD
+//     synchronizer whose round discipline provably breaks on ABE networks
+//     (RunSynchronized, RunClockSync);
+//   - an exhaustive bounded model checker for the election protocol's
+//     safety invariants (CheckElection);
+//   - a live goroutine/channel runtime demonstrating the algorithm under
+//     real concurrency (RunLiveElection);
+//   - a seeded experiment harness for parameter sweeps with confidence
+//     intervals and growth-exponent fits (Sweep, GrowthExponent).
+//
+// The delay, clock and processing models live in the re-exported
+// constructors (Exponential, Retransmission, UniformClocks, ...); all
+// simulation is deterministic given a seed.
+package abenet
+
+import (
+	"abenet/internal/channel"
+	"abenet/internal/check"
+	"abenet/internal/clock"
+	"abenet/internal/core"
+	"abenet/internal/dist"
+	"abenet/internal/election"
+	"abenet/internal/harness"
+	"abenet/internal/live"
+	"abenet/internal/stats"
+	"abenet/internal/synchronizer"
+	"abenet/internal/syncnet"
+	"abenet/internal/topology"
+)
+
+// ---- The ABE model (Definition 1) ----
+
+// Params are the known ABE bounds (δ, s_low, s_high, γ).
+type Params = core.Params
+
+// DefaultParams returns the unit parameterisation: δ = 1, perfect clocks,
+// instantaneous processing.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// ---- The election algorithm (Section 3) ----
+
+// ElectionConfig configures one election run on an anonymous
+// unidirectional ABE ring.
+type ElectionConfig = core.ElectionConfig
+
+// ElectionResult summarises one election run.
+type ElectionResult = core.ElectionResult
+
+// RunElection runs the paper's election algorithm.
+func RunElection(cfg ElectionConfig) (ElectionResult, error) {
+	return core.RunElection(cfg)
+}
+
+// A0ForRing returns the base activation parameter that realises the
+// paper's linear average complexity on a ring of size n with expected
+// per-link delay delta, tick interval tick and aggressiveness c.
+func A0ForRing(n int, delta, tick, c float64) float64 {
+	return core.A0ForRing(n, delta, tick, c)
+}
+
+// DefaultA0 is A0ForRing(n, 1, 1, 1).
+func DefaultA0(n int) float64 { return core.DefaultA0(n) }
+
+// ---- Delay distributions (condition 1: known bound on E[delay]) ----
+
+// DelayDist is a non-negative distribution with a known exact mean.
+type DelayDist = dist.Dist
+
+// Deterministic returns the fixed-delay distribution (the ABD limit case).
+func Deterministic(v float64) DelayDist { return dist.NewDeterministic(v) }
+
+// Uniform returns the uniform distribution on [low, high] (bounded support,
+// ABD-compatible).
+func Uniform(low, high float64) DelayDist { return dist.NewUniform(low, high) }
+
+// Exponential returns the exponential distribution with the given mean —
+// the canonical unbounded ABE delay.
+func Exponential(mean float64) DelayDist { return dist.NewExponential(mean) }
+
+// Retransmission returns the paper's case (iii) delay: per-attempt success
+// probability p, per-attempt duration slot; mean slot/p with unbounded
+// support.
+func Retransmission(p, slot float64) DelayDist { return dist.NewRetransmission(p, slot) }
+
+// ParetoWithMean returns a heavy-tailed Pareto delay with the given mean
+// and tail index alpha > 1.
+func ParetoWithMean(mean, alpha float64) DelayDist { return dist.ParetoWithMean(mean, alpha) }
+
+// Erlang returns a k-stage Erlang delay with the given total mean
+// (multi-hop routing, case (ii)).
+func Erlang(k int, mean float64) DelayDist { return dist.NewErlang(k, mean) }
+
+// Bimodal mixes fast and slow delays (congestion peaks, case (i)).
+func Bimodal(fast, slow DelayDist, pSlow float64) DelayDist {
+	return dist.NewBimodal(fast, slow, pSlow)
+}
+
+// ---- Clock models (condition 2: speeds within [s_low, s_high]) ----
+
+// ClockModel assigns local clocks to nodes.
+type ClockModel = clock.Model
+
+// PerfectClocks gives every node a rate-1 clock.
+func PerfectClocks() ClockModel { return clock.PerfectModel{} }
+
+// UniformClocks draws each node's constant rate uniformly from
+// [low, high].
+func UniformClocks(low, high float64) ClockModel { return clock.NewUniformFixedModel(low, high) }
+
+// WanderingClocks gives each node a piecewise-constant clock whose rate is
+// redrawn from [low, high] at exponential(segmentMean) intervals.
+func WanderingClocks(low, high, segmentMean float64) ClockModel {
+	return clock.NewWanderingModel(low, high, segmentMean)
+}
+
+// ---- Link factories ----
+
+// LinkFactory builds one link per directed edge.
+type LinkFactory = channel.Factory
+
+// RandomDelayLinks returns non-FIFO links with independent per-message
+// delays — the paper's channel model.
+func RandomDelayLinks(delay DelayDist) LinkFactory { return channel.RandomDelayFactory(delay) }
+
+// FIFOLinks returns order-preserving links (needed by Itai–Rodeh async).
+func FIFOLinks(delay DelayDist) LinkFactory { return channel.FIFOFactory(delay) }
+
+// ARQLinks returns lossy stop-and-wait links with per-attempt success
+// probability p and slot duration slot — the physical model behind
+// Retransmission.
+func ARQLinks(p, slot float64) LinkFactory { return channel.ARQFactory(p, slot) }
+
+// ---- Baseline elections ----
+
+// ItaiRodehSyncResult reports the synchronous baseline run.
+type ItaiRodehSyncResult = election.ItaiRodehSyncResult
+
+// RunItaiRodehSync runs the phase-based Itai–Rodeh style election on an
+// anonymous synchronous ring (q = 0 means 1/n).
+func RunItaiRodehSync(n int, q float64, seed uint64, maxRounds int) (ItaiRodehSyncResult, error) {
+	return election.RunItaiRodehSync(n, q, seed, maxRounds)
+}
+
+// AsyncRingConfig configures an asynchronous baseline run.
+type AsyncRingConfig = election.AsyncRingConfig
+
+// AsyncRingResult reports an asynchronous baseline run.
+type AsyncRingResult = election.AsyncRingResult
+
+// RunItaiRodehAsync runs the classic Itai–Rodeh election (anonymous,
+// FIFO, Θ(n log n) expected messages).
+func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
+	return election.RunItaiRodehAsync(cfg)
+}
+
+// ChangRobertsConfig configures a Chang–Roberts run.
+type ChangRobertsConfig = election.ChangRobertsConfig
+
+// ChangRobertsArrangement selects the identity layout.
+type ChangRobertsArrangement = election.ChangRobertsArrangement
+
+// Identity arrangements for Chang–Roberts.
+const (
+	ArrangementRandom     = election.ArrangementRandom
+	ArrangementAscending  = election.ArrangementAscending
+	ArrangementDescending = election.ArrangementDescending
+)
+
+// RunChangRoberts runs the identity-based election baseline.
+func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
+	return election.RunChangRoberts(cfg)
+}
+
+// ---- Synchronizers (Section 2, Theorem 1) ----
+
+// SyncKind selects a message-driven synchronizer.
+type SyncKind = synchronizer.Kind
+
+// The message-driven synchronizers.
+const (
+	SyncRound = synchronizer.KindRound
+	SyncAlpha = synchronizer.KindAlpha
+	SyncBeta  = synchronizer.KindBeta
+	SyncGamma = synchronizer.KindGamma
+)
+
+// SyncConfig configures a synchronized execution.
+type SyncConfig = synchronizer.Config
+
+// SyncResult reports a synchronized execution, including the
+// messages-per-round cost Theorem 1 lower bounds by n.
+type SyncResult = synchronizer.Result
+
+// SyncProtocol is a synchronous protocol runnable natively or over a
+// synchronizer.
+type SyncProtocol = syncnet.Node
+
+// SyncProtocolContext is the per-round local view a SyncProtocol receives.
+type SyncProtocolContext = syncnet.NodeContext
+
+// SyncMessage is one message delivered to a SyncProtocol at a round start.
+type SyncMessage = syncnet.Message
+
+// RunSynchronized executes a synchronous protocol over an asynchronous
+// network via the configured synchronizer.
+func RunSynchronized(cfg SyncConfig, makeNode func(i int) SyncProtocol) (SyncResult, error) {
+	return synchronizer.Run(cfg, makeNode)
+}
+
+// ClockSyncConfig configures the clock-driven ABD synchronizer workload.
+type ClockSyncConfig = synchronizer.ClockSyncConfig
+
+// ClockSyncResult reports round violations of the ABD synchronizer.
+type ClockSyncResult = synchronizer.ClockSyncResult
+
+// RunClockSync measures how the zero-message ABD synchronizer behaves on
+// bounded (ABD) versus expected-bounded (ABE) delays.
+func RunClockSync(cfg ClockSyncConfig) (ClockSyncResult, error) {
+	return synchronizer.RunClockSync(cfg)
+}
+
+// ---- Model checking ----
+
+// CheckOptions configures the exhaustive exploration.
+type CheckOptions = check.Options
+
+// CheckReport is the exploration outcome.
+type CheckReport = check.Report
+
+// CheckElection exhaustively verifies the election protocol's safety
+// invariants on a small ring.
+func CheckElection(opts CheckOptions) (CheckReport, error) {
+	return check.CheckElection(opts)
+}
+
+// ---- Live (goroutine) runtime ----
+
+// LiveElectionConfig configures a real-concurrency election run.
+type LiveElectionConfig = live.ElectionConfig
+
+// LiveElectionResult reports a real-concurrency election run.
+type LiveElectionResult = live.ElectionResult
+
+// RunLiveElection runs the election on goroutines and channels with real
+// (wall-clock) delays.
+func RunLiveElection(cfg LiveElectionConfig) (LiveElectionResult, error) {
+	return live.RunElection(cfg)
+}
+
+// ---- Topologies ----
+
+// Graph is a directed communication topology.
+type Graph = topology.Graph
+
+// Ring returns the anonymous unidirectional ring on n nodes.
+func Ring(n int) *Graph { return topology.Ring(n) }
+
+// BiRing returns the bidirectional ring on n nodes.
+func BiRing(n int) *Graph { return topology.BiRing(n) }
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph { return topology.Complete(n) }
+
+// Hypercube returns the 2^dim-node hypercube.
+func Hypercube(dim int) *Graph { return topology.Hypercube(dim) }
+
+// ---- Experiment harness ----
+
+// Sweep runs seeded repetitions over a parameter range in parallel.
+type Sweep = harness.Sweep
+
+// SweepMetrics is one run's named measurements.
+type SweepMetrics = harness.Metrics
+
+// SweepPoint aggregates repetitions at one parameter value.
+type SweepPoint = harness.Point
+
+// GrowthFit is a least-squares fit (slope = growth exponent on log-log
+// axes).
+type GrowthFit = stats.LinearFit
+
+// GrowthExponent fits metric ~ C·x^k over sweep points.
+func GrowthExponent(points []SweepPoint, metric string) (GrowthFit, error) {
+	return harness.GrowthExponent(points, metric)
+}
+
+// Table is an aligned-text/CSV results table.
+type Table = harness.Table
+
+// PointsTable renders sweep points as a table.
+func PointsTable(title, xHeader string, points []SweepPoint) *Table {
+	return harness.PointsTable(title, xHeader, points)
+}

@@ -1,0 +1,214 @@
+package abenet_test
+
+import (
+	"testing"
+	"time"
+
+	"abenet"
+)
+
+// These tests exercise the public facade end to end: a downstream user's
+// first contact with the library must work exactly as documented.
+
+func TestFacadeElection(t *testing.T) {
+	res, err := abenet.RunElection(abenet.ElectionConfig{
+		N:    16,
+		A0:   abenet.DefaultA0(16),
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaders != 1 || !res.Elected {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Params.Delta != 1 {
+		t.Fatalf("default δ = %v, want 1", res.Params.Delta)
+	}
+}
+
+func TestFacadeElectionOnARQLinks(t *testing.T) {
+	// The sensor-network scenario: lossy radio with p = 0.5 and 0.5-unit
+	// slots gives expected delay 1 — an ABE network by Section 1 (iii).
+	res, err := abenet.RunElection(abenet.ElectionConfig{
+		N:     8,
+		A0:    abenet.DefaultA0(8),
+		Links: abenet.ARQLinks(0.5, 0.5),
+		Seed:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaders != 1 {
+		t.Fatalf("leaders = %d", res.Leaders)
+	}
+	if res.Transmissions <= res.Messages {
+		t.Fatalf("ARQ links must retransmit: %d transmissions for %d messages",
+			res.Transmissions, res.Messages)
+	}
+}
+
+func TestFacadeDelayConstructors(t *testing.T) {
+	dists := []abenet.DelayDist{
+		abenet.Deterministic(1),
+		abenet.Uniform(0, 2),
+		abenet.Exponential(1),
+		abenet.Retransmission(0.5, 0.5),
+		abenet.ParetoWithMean(1, 2),
+		abenet.Erlang(3, 1),
+		abenet.Bimodal(abenet.Deterministic(0.5), abenet.Deterministic(5.5), 0.1),
+	}
+	for _, d := range dists {
+		if d.Mean() <= 0 {
+			t.Fatalf("%s mean = %v", d.Name(), d.Mean())
+		}
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	if res, err := abenet.RunItaiRodehSync(8, 0, 1, 0); err != nil || res.Leaders != 1 {
+		t.Fatalf("sync IR: %+v, %v", res, err)
+	}
+	if res, err := abenet.RunItaiRodehAsync(abenet.AsyncRingConfig{N: 8, Seed: 1}); err != nil || res.Leaders != 1 {
+		t.Fatalf("async IR: %+v, %v", res, err)
+	}
+	if res, err := abenet.RunChangRoberts(abenet.ChangRobertsConfig{N: 8, Seed: 1}); err != nil || res.Leaders != 1 {
+		t.Fatalf("CR: %+v, %v", res, err)
+	}
+}
+
+// broadcastProto floods one counter per round for a fixed number of rounds.
+type broadcastProto struct{ limit int }
+
+func (p *broadcastProto) Round(ctx abenet.SyncProtocolContext, round int, inbox []abenet.SyncMessage) {
+	if round >= p.limit {
+		ctx.StopNetwork("done")
+		return
+	}
+	for port := 0; port < ctx.OutDegree(); port++ {
+		ctx.Send(port, round)
+	}
+}
+
+func TestFacadeSynchronizer(t *testing.T) {
+	res, err := abenet.RunSynchronized(abenet.SyncConfig{
+		Kind:  abenet.SyncRound,
+		Graph: abenet.Ring(6),
+		Seed:  3,
+	}, func(int) abenet.SyncProtocol {
+		return &broadcastProto{limit: 15}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesPerRound < 6 {
+		t.Fatalf("Theorem 1 violated by facade run: %v msgs/round", res.MessagesPerRound)
+	}
+}
+
+func TestFacadeClockSync(t *testing.T) {
+	abd, err := abenet.RunClockSync(abenet.ClockSyncConfig{
+		Graph:  abenet.Ring(6),
+		Delay:  abenet.Uniform(0, 1),
+		Period: 1.1,
+		Rounds: 100,
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abd.Violations != 0 {
+		t.Fatalf("ABD run violated: %+v", abd)
+	}
+	abe, err := abenet.RunClockSync(abenet.ClockSyncConfig{
+		Graph:  abenet.Ring(6),
+		Delay:  abenet.Exponential(0.5),
+		Period: 1.1,
+		Rounds: 100,
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abe.Violations == 0 {
+		t.Fatal("ABE run produced no violations")
+	}
+}
+
+func TestFacadeModelChecker(t *testing.T) {
+	report, err := abenet.CheckElection(abenet.CheckOptions{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("violations: %+v", report.Violations)
+	}
+}
+
+func TestFacadeLiveElection(t *testing.T) {
+	res, err := abenet.RunLiveElection(abenet.LiveElectionConfig{
+		N:         5,
+		MeanDelay: 100 * time.Microsecond,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaders != 1 {
+		t.Fatalf("live leaders = %d", res.Leaders)
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	sweep := abenet.Sweep{Name: "facade", Repetitions: 20, Seed: 6}
+	points, err := sweep.Run([]float64{8, 16, 32}, func(x float64, seed uint64) (abenet.SweepMetrics, error) {
+		res, err := abenet.RunElection(abenet.ElectionConfig{
+			N:    int(x),
+			A0:   abenet.DefaultA0(int(x)),
+			Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return abenet.SweepMetrics{"messages": float64(res.Messages), "time": res.Time}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := abenet.GrowthExponent(points, "messages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 0.5 || fit.Slope > 1.6 {
+		t.Fatalf("message growth exponent %v not near linear", fit.Slope)
+	}
+	table := abenet.PointsTable("demo", "n", points)
+	if len(table.Rows) != 3 {
+		t.Fatalf("table rows = %d", len(table.Rows))
+	}
+}
+
+func TestFacadeClockModels(t *testing.T) {
+	for _, m := range []abenet.ClockModel{
+		abenet.PerfectClocks(),
+		abenet.UniformClocks(0.5, 2),
+		abenet.WanderingClocks(0.5, 2, 1),
+	} {
+		res, err := abenet.RunElection(abenet.ElectionConfig{
+			N: 6, A0: 0.05, Clocks: m, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Leaders != 1 {
+			t.Fatalf("%T: leaders = %d", m, res.Leaders)
+		}
+	}
+}
+
+func TestFacadeParams(t *testing.T) {
+	p := abenet.DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

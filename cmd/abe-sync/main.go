@@ -1,0 +1,188 @@
+// Command abe-sync demonstrates synchronizers on ABE networks and the
+// cost Theorem 1 imposes on them.
+//
+// Modes:
+//
+//	abe-sync -mode cost                 messages/round across synchronizers & topologies
+//	abe-sync -mode abd                  clock-driven ABD synchronizer on ABD vs ABE delays
+//	abe-sync -mode election             synchronous Itai-Rodeh over a synchronizer vs native ABE election
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abenet"
+	"abenet/internal/election"
+	"abenet/internal/experiments"
+	"abenet/internal/harness"
+	"abenet/internal/synchronizer"
+	"abenet/internal/syncnet"
+	"abenet/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abe-sync:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mode := flag.String("mode", "cost", "demo: cost, abd, or election")
+	seed := flag.Uint64("seed", 1, "random seed")
+	n := flag.Int("n", 16, "network size (election mode ring size)")
+	rounds := flag.Int("rounds", 50, "rounds to drive (cost/abd modes)")
+	flag.Parse()
+
+	switch *mode {
+	case "cost":
+		return costDemo(*seed, *rounds)
+	case "abd":
+		return abdDemo(*seed, *rounds)
+	case "election":
+		return electionDemo(*seed, *n)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// heartbeat drives the synchronizer with one payload per edge per round.
+type heartbeat struct{ limit int }
+
+func (p *heartbeat) Round(ctx syncnet.NodeContext, round int, _ []syncnet.Message) {
+	if round >= p.limit {
+		ctx.StopNetwork("done")
+		return
+	}
+	for port := 0; port < ctx.OutDegree(); port++ {
+		ctx.Send(port, round)
+	}
+}
+
+func costDemo(seed uint64, rounds int) error {
+	fmt.Println("Theorem 1: an ABE network of size n cannot be synchronised with")
+	fmt.Println("fewer than n messages per round. Measured synchronizer costs:")
+	fmt.Println()
+	table := harness.NewTable("", "topology", "n", "synchronizer", "msgs/round", "bound n", "meets bound")
+	cases := []struct {
+		name  string
+		graph *topology.Graph
+		kind  synchronizer.Kind
+	}{
+		{"ring(16)", topology.Ring(16), synchronizer.KindRound},
+		{"ring(64)", topology.Ring(64), synchronizer.KindRound},
+		{"biring(16)", topology.BiRing(16), synchronizer.KindRound},
+		{"complete(8)", topology.Complete(8), synchronizer.KindRound},
+		{"biring(16)", topology.BiRing(16), synchronizer.KindAlpha},
+		{"complete(8)", topology.Complete(8), synchronizer.KindAlpha},
+		{"biring(16)", topology.BiRing(16), synchronizer.KindBeta},
+		{"complete(8)", topology.Complete(8), synchronizer.KindBeta},
+		{"biring(16)", topology.BiRing(16), synchronizer.KindGamma},
+		{"complete(8)", topology.Complete(8), synchronizer.KindGamma},
+	}
+	for _, c := range cases {
+		res, err := synchronizer.Run(synchronizer.Config{
+			Kind: c.kind, Graph: c.graph, Seed: seed,
+		}, func(int) syncnet.Node { return &heartbeat{limit: rounds} })
+		if err != nil {
+			return err
+		}
+		table.AddRow(c.name, fmt.Sprint(c.graph.N()), c.kind.String(),
+			fmt.Sprintf("%.1f", res.MessagesPerRound),
+			fmt.Sprint(c.graph.N()),
+			fmt.Sprintf("%v", res.MessagesPerRound >= float64(c.graph.N())))
+	}
+	return table.Render(os.Stdout)
+}
+
+func abdDemo(seed uint64, rounds int) error {
+	fmt.Println("A clock-driven ABD synchronizer (Tel-Korach-Zaks) uses zero control")
+	fmt.Println("messages but trusts a hard delay bound. On an ABE network the bound")
+	fmt.Println("does not exist; rounds break with positive probability:")
+	fmt.Println()
+	table := harness.NewTable("", "period", "ABD uniform[0,1]", "ABE exp(0.5)")
+	for _, period := range []float64{1.5, 2, 3, 4, 6} {
+		abd, err := abenet.RunClockSync(abenet.ClockSyncConfig{
+			Graph: abenet.Ring(16), Delay: abenet.Uniform(0, 1),
+			Period: period, Rounds: rounds, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		abe, err := abenet.RunClockSync(abenet.ClockSyncConfig{
+			Graph: abenet.Ring(16), Delay: abenet.Exponential(0.5),
+			Period: period, Rounds: rounds, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		table.AddRow(fmt.Sprintf("%g", period),
+			fmt.Sprintf("%d violations (%.3f%%)", abd.Violations, 100*abd.ViolationRate()),
+			fmt.Sprintf("%d violations (%.3f%%)", abe.Violations, 100*abe.ViolationRate()))
+	}
+	return table.Render(os.Stdout)
+}
+
+func electionDemo(seed uint64, n int) error {
+	fmt.Println("Running a synchronous election through a synchronizer multiplies its")
+	fmt.Println("message cost by the round count; the native ABE election avoids that:")
+	fmt.Println()
+
+	native, err := abenet.RunElection(abenet.ElectionConfig{
+		N: n, A0: abenet.DefaultA0(n), Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	nodes := make([]*election.ItaiRodehSyncNode, n)
+	synced, err := synchronizer.Run(synchronizer.Config{
+		Kind:      synchronizer.KindRound,
+		Graph:     topology.Ring(n),
+		Seed:      seed,
+		Anonymous: true,
+		MaxRounds: 100_000,
+	}, func(i int) syncnet.Node {
+		node, err := election.NewItaiRodehSyncNode(n, 1/float64(n))
+		if err != nil {
+			panic(err) // validated; unreachable
+		}
+		nodes[i] = node
+		return node
+	})
+	if err != nil {
+		return err
+	}
+	leaders := 0
+	for _, node := range nodes {
+		if node.IsLeader() {
+			leaders++
+		}
+	}
+
+	table := harness.NewTable("", "approach", "messages", "leaders", "notes")
+	table.AddRow("native ABE election", fmt.Sprint(native.Messages), fmt.Sprint(native.Leaders),
+		fmt.Sprintf("%.2f msgs/node", float64(native.Messages)/float64(n)))
+	table.AddRow("Itai-Rodeh sync over round synchronizer", fmt.Sprint(synced.Messages), fmt.Sprint(leaders),
+		fmt.Sprintf("%d rounds x %d msgs/round", synced.Rounds, n))
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nsynchronisation overhead: %.1fx\n", float64(synced.Messages)/float64(native.Messages))
+
+	// Also show where these numbers sit in the full sweep.
+	res, err := experiments.E8Synchronizer(experiments.Options{Quick: true, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, t := range res.Tables() {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

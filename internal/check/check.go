@@ -1,0 +1,342 @@
+// Package check exhaustively model-checks the paper's election algorithm
+// on small rings.
+//
+// Monte-Carlo runs sample executions; they cannot prove safety. This
+// checker enumerates every reachable global state of the protocol on an
+// anonymous unidirectional ring of size n — under a fully nondeterministic
+// scheduler (any idle node may activate at any moment, any in-flight
+// message may be delivered next, in any order), which is exactly the
+// support of the ABE probability space — and verifies:
+//
+//	V1  at most one node is ever a leader;
+//	V2  every in-flight hop counter is in {1..n} and every d(A) ≤ n;
+//	V3  the nodes are never all passive (no knockout deadlock);
+//	V4  when a leader exists, every other node is passive;
+//	V5  no reachable state other than budget-cut artifacts is stuck
+//	    without a leader.
+//
+// The state space is made finite by bounding the number of activations per
+// node; within that bound the exploration is exhaustive. The transition
+// relation here is written directly from the paper's Section 3 text,
+// independently of internal/core's simulator implementation, so agreement
+// between the two is evidence against transcription bugs in either.
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node states, deliberately re-declared rather than imported from core so
+// the checker stays an independent encoding of the paper.
+const (
+	idle byte = iota + 1
+	active
+	passive
+	leader
+)
+
+// Options configures an exhaustive exploration.
+type Options struct {
+	// N is the ring size (2..6 is practical).
+	N int
+	// MaxActivationsPerNode bounds how often each node may wake up;
+	// 0 means 2. Larger bounds explore deeper reactivation behaviour at
+	// exponential cost.
+	MaxActivationsPerNode int
+	// MaxStates aborts the exploration if exceeded; 0 means 5e6.
+	MaxStates int
+}
+
+// Violation is one invariant breach, with a human-readable witness trace.
+type Violation struct {
+	// Kind identifies the invariant (V1..V5).
+	Kind string
+	// Detail describes the breach.
+	Detail string
+	// Trace is the action sequence from the initial state.
+	Trace []string
+}
+
+// Report summarises an exploration.
+type Report struct {
+	// StatesExplored counts distinct reachable states visited.
+	StatesExplored int
+	// Truncated reports whether MaxStates cut the exploration short.
+	Truncated bool
+	// LeaderStates counts states in which a leader exists.
+	LeaderStates int
+	// CutStates counts stuck states that exist only because of the
+	// activation budget (all non-passive nodes idle with spent budgets,
+	// no messages) — artifacts, not protocol deadlocks.
+	CutStates int
+	// Violations lists every invariant breach found (empty = verified
+	// within the bound).
+	Violations []Violation
+}
+
+// OK reports whether the exploration finished without violations.
+func (r Report) OK() bool { return len(r.Violations) == 0 && !r.Truncated }
+
+// state is one global protocol configuration.
+type state struct {
+	nodes []nodeState
+}
+
+type nodeState struct {
+	st    byte
+	d     int
+	used  int   // activations consumed
+	inbox []int // multiset of in-flight hop counters addressed to this node, sorted
+}
+
+// key canonically encodes a state for the visited set.
+func (s *state) key() string {
+	buf := make([]byte, 0, len(s.nodes)*6)
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		buf = append(buf, ns.st, byte(ns.d), byte(ns.used), byte(len(ns.inbox)))
+		for _, h := range ns.inbox {
+			buf = append(buf, byte(h))
+		}
+		buf = append(buf, 0xff)
+	}
+	return string(buf)
+}
+
+// clone deep-copies a state.
+func (s *state) clone() *state {
+	out := &state{nodes: make([]nodeState, len(s.nodes))}
+	for i := range s.nodes {
+		out.nodes[i] = s.nodes[i]
+		out.nodes[i].inbox = append([]int(nil), s.nodes[i].inbox...)
+	}
+	return out
+}
+
+// addMsg inserts hop into node i's inbox keeping it sorted.
+func (s *state) addMsg(i, hop int) {
+	inbox := s.nodes[i].inbox
+	pos := sort.SearchInts(inbox, hop)
+	inbox = append(inbox, 0)
+	copy(inbox[pos+1:], inbox[pos:])
+	inbox[pos] = hop
+	s.nodes[i].inbox = inbox
+}
+
+// removeMsg removes one instance of hop from node i's inbox.
+func (s *state) removeMsg(i, hop int) {
+	inbox := s.nodes[i].inbox
+	pos := sort.SearchInts(inbox, hop)
+	s.nodes[i].inbox = append(inbox[:pos], inbox[pos+1:]...)
+}
+
+// CheckElection exhaustively explores the election protocol on a ring of
+// size opts.N and reports every invariant violation reachable within the
+// activation budget.
+func CheckElection(opts Options) (Report, error) {
+	if opts.N < 2 {
+		return Report{}, fmt.Errorf("check: ring size %d must be at least 2", opts.N)
+	}
+	budget := opts.MaxActivationsPerNode
+	if budget == 0 {
+		budget = 2
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 5_000_000
+	}
+	n := opts.N
+
+	initial := &state{nodes: make([]nodeState, n)}
+	for i := range initial.nodes {
+		initial.nodes[i] = nodeState{st: idle, d: 1}
+	}
+
+	type entry struct {
+		s      *state
+		parent string // key of predecessor
+		action string
+	}
+	visited := map[string]entry{}
+	queue := []*state{initial}
+	visited[initial.key()] = entry{s: initial}
+
+	var report Report
+
+	traceOf := func(k string) []string {
+		var rev []string
+		for k != "" {
+			e := visited[k]
+			if e.action == "" {
+				break
+			}
+			rev = append(rev, e.action)
+			k = e.parent
+		}
+		trace := make([]string, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			trace = append(trace, rev[i])
+		}
+		return trace
+	}
+
+	violate := func(k, kind, detail string) {
+		report.Violations = append(report.Violations, Violation{
+			Kind:   kind,
+			Detail: detail,
+			Trace:  traceOf(k),
+		})
+	}
+
+	// checkInvariants validates a state; returns false on violation so the
+	// exploration can skip expanding broken states.
+	checkInvariants := func(s *state, k string) bool {
+		ok := true
+		leaders, passives := 0, 0
+		for i := range s.nodes {
+			ns := &s.nodes[i]
+			if ns.st == leader {
+				leaders++
+			}
+			if ns.st == passive {
+				passives++
+			}
+			if ns.d < 1 || ns.d > n {
+				violate(k, "V2", fmt.Sprintf("node %d has d=%d", i, ns.d))
+				ok = false
+			}
+			for _, h := range ns.inbox {
+				if h < 1 || h > n {
+					violate(k, "V2", fmt.Sprintf("message to node %d carries hop %d", i, h))
+					ok = false
+				}
+			}
+		}
+		if leaders > 1 {
+			violate(k, "V1", fmt.Sprintf("%d leaders", leaders))
+			ok = false
+		}
+		if passives == n {
+			violate(k, "V3", "all nodes passive")
+			ok = false
+		}
+		if leaders == 1 && passives != n-1 {
+			violate(k, "V4", fmt.Sprintf("leader coexists with %d non-passive nodes", n-1-passives))
+			ok = false
+		}
+		return ok
+	}
+
+	push := func(next *state, parentKey, action string) {
+		k := next.key()
+		if _, seen := visited[k]; seen {
+			return
+		}
+		visited[k] = entry{s: next, parent: parentKey, action: action}
+		queue = append(queue, next)
+	}
+
+	for len(queue) > 0 {
+		if report.StatesExplored >= maxStates {
+			report.Truncated = true
+			break
+		}
+		s := queue[0]
+		queue = queue[1:]
+		k := s.key()
+		report.StatesExplored++
+
+		if !checkInvariants(s, k) {
+			continue
+		}
+
+		hasLeader := false
+		for i := range s.nodes {
+			if s.nodes[i].st == leader {
+				hasLeader = true
+			}
+		}
+		if hasLeader {
+			report.LeaderStates++
+		}
+
+		transitions := 0
+
+		// Activation transitions: the support of the probabilistic
+		// wake-up rule is "any idle node may activate at any tick".
+		for i := range s.nodes {
+			ns := &s.nodes[i]
+			if ns.st != idle || ns.used >= budget {
+				continue
+			}
+			next := s.clone()
+			next.nodes[i].st = active
+			next.nodes[i].used++
+			next.addMsg((i+1)%n, 1)
+			push(next, k, fmt.Sprintf("activate(%d)", i))
+			transitions++
+		}
+
+		// Delivery transitions: any in-flight message, in any order.
+		for i := range s.nodes {
+			seen := map[int]bool{}
+			for _, h := range s.nodes[i].inbox {
+				if seen[h] {
+					continue // same (target, hop) pairs are interchangeable
+				}
+				seen[h] = true
+				next := s.clone()
+				next.removeMsg(i, h)
+				deliver(next, i, h, n)
+				push(next, k, fmt.Sprintf("deliver(hop=%d -> node %d)", h, i))
+				transitions++
+			}
+		}
+
+		if transitions == 0 && !hasLeader {
+			// Stuck without a leader: either a budget-cut artifact (all
+			// remaining non-passive nodes are idle with spent budgets and
+			// nothing is in flight) or a genuine deadlock.
+			artifact := true
+			for i := range s.nodes {
+				ns := &s.nodes[i]
+				if len(ns.inbox) > 0 || ns.st == active {
+					artifact = false
+					break
+				}
+			}
+			if artifact {
+				report.CutStates++
+			} else {
+				violate(k, "V5", "stuck state with no leader")
+			}
+		}
+	}
+	return report, nil
+}
+
+// deliver applies the paper's receive rules to node i of st consuming a
+// message with the given hop. Written directly from the Section 3 text.
+func deliver(st *state, i, hop, n int) {
+	ns := &st.nodes[i]
+	if hop > ns.d {
+		ns.d = hop
+	}
+	switch ns.st {
+	case idle:
+		ns.st = passive
+		st.addMsg((i+1)%n, ns.d+1)
+	case passive:
+		st.addMsg((i+1)%n, ns.d+1)
+	case active:
+		if hop == n {
+			ns.st = leader
+		} else {
+			ns.st = idle
+		}
+		// Message purged in both cases.
+	case leader:
+		// Residual traffic is absorbed by the leader.
+	}
+}

@@ -1,0 +1,257 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"abenet/internal/rng"
+	"abenet/internal/simtime"
+)
+
+func TestFixedLocalAt(t *testing.T) {
+	c := NewFixed(2)
+	if got := c.LocalAt(3); got != 6 {
+		t.Fatalf("LocalAt(3) = %v, want 6", got)
+	}
+	if got := c.LocalAt(0); got != 0 {
+		t.Fatalf("LocalAt(0) = %v, want 0", got)
+	}
+}
+
+func TestFixedRealAfterLocal(t *testing.T) {
+	c := NewFixed(0.5)
+	// At rate 0.5, one local unit takes two real units.
+	if got := c.RealAfterLocal(10, 1); got != 12 {
+		t.Fatalf("RealAfterLocal = %v, want 12", got)
+	}
+}
+
+func TestFixedRoundTrip(t *testing.T) {
+	c := NewFixed(1.7)
+	now := simtime.Time(5)
+	after := c.RealAfterLocal(now, 3)
+	if got := c.LocalAt(after) - c.LocalAt(now); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("local advance = %v, want 3", got)
+	}
+}
+
+func TestFixedBounds(t *testing.T) {
+	low, high := NewFixed(1.5).RateBounds()
+	if low != 1.5 || high != 1.5 {
+		t.Fatalf("bounds = %v, %v", low, high)
+	}
+}
+
+func TestFixedRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		rate := rate
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v did not panic", rate)
+				}
+			}()
+			NewFixed(rate)
+		}()
+	}
+}
+
+func TestWanderingMonotone(t *testing.T) {
+	w := NewWandering(0.5, 2, 1, rng.New(1))
+	prev := -1.0
+	for i := 0; i <= 1000; i++ {
+		tt := simtime.Time(float64(i) * 0.037)
+		v := w.LocalAt(tt)
+		if v < prev {
+			t.Fatalf("clock went backwards at %v: %v < %v", tt, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWanderingRespectsRateBounds(t *testing.T) {
+	// Definition 1.2: every interval's average rate must be within bounds.
+	const low, high = 0.5, 2.0
+	w := NewWandering(low, high, 0.7, rng.New(2))
+	times := make([]float64, 0, 200)
+	locals := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		rt := float64(i) * 0.113
+		times = append(times, rt)
+		locals = append(locals, w.LocalAt(simtime.Time(rt)))
+	}
+	for i := 0; i < len(times); i++ {
+		for j := i + 1; j < len(times); j++ {
+			dt := times[j] - times[i]
+			dl := locals[j] - locals[i]
+			if dl < low*dt-1e-9 || dl > high*dt+1e-9 {
+				t.Fatalf("interval [%v,%v]: local advance %v outside [%v, %v]",
+					times[i], times[j], dl, low*dt, high*dt)
+			}
+		}
+	}
+}
+
+func TestWanderingRealAfterLocalRoundTrip(t *testing.T) {
+	w := NewWandering(0.5, 2, 0.4, rng.New(3))
+	now := simtime.Time(0)
+	for i := 0; i < 200; i++ {
+		after := w.RealAfterLocal(now, 1)
+		if !after.After(now) {
+			t.Fatalf("tick %d: RealAfterLocal did not advance (%v -> %v)", i, now, after)
+		}
+		advance := w.LocalAt(after) - w.LocalAt(now)
+		if math.Abs(advance-1) > 1e-6 {
+			t.Fatalf("tick %d: local advance %v, want 1", i, advance)
+		}
+		now = after
+	}
+}
+
+func TestWanderingTickSpacingWithinBounds(t *testing.T) {
+	const low, high = 0.25, 4.0
+	w := NewWandering(low, high, 1, rng.New(4))
+	now := simtime.Time(0)
+	for i := 0; i < 500; i++ {
+		next := w.RealAfterLocal(now, 1)
+		gap := float64(next.Sub(now))
+		// One local unit must take between 1/high and 1/low real units.
+		if gap < 1/high-1e-9 || gap > 1/low+1e-9 {
+			t.Fatalf("tick gap %v outside [%v, %v]", gap, 1/high, 1/low)
+		}
+		now = next
+	}
+}
+
+func TestWanderingDeterministic(t *testing.T) {
+	a := NewWandering(0.5, 2, 1, rng.New(5))
+	b := NewWandering(0.5, 2, 1, rng.New(5))
+	for i := 0; i < 300; i++ {
+		tt := simtime.Time(float64(i) * 0.19)
+		if a.LocalAt(tt) != b.LocalAt(tt) {
+			t.Fatalf("wandering clocks with same seed diverged at %v", tt)
+		}
+	}
+}
+
+func TestWanderingNonMonotoneQueries(t *testing.T) {
+	// Queries may go back in time (e.g. for reporting); results must agree
+	// with earlier answers.
+	w := NewWandering(0.5, 2, 0.5, rng.New(6))
+	forward := make([]float64, 100)
+	for i := range forward {
+		forward[i] = w.LocalAt(simtime.Time(float64(i) * 0.21))
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if got := w.LocalAt(simtime.Time(float64(i) * 0.21)); got != forward[i] {
+			t.Fatalf("re-query at index %d differs: %v vs %v", i, got, forward[i])
+		}
+	}
+}
+
+func TestWanderingDegenerateBoundsActLikeFixed(t *testing.T) {
+	w := NewWandering(1, 1, 0.5, rng.New(7))
+	for i := 0; i < 100; i++ {
+		tt := simtime.Time(float64(i) * 0.3)
+		if got := w.LocalAt(tt); math.Abs(got-float64(tt)) > 1e-9 {
+			t.Fatalf("unit wandering clock drifted: LocalAt(%v) = %v", tt, got)
+		}
+	}
+}
+
+func TestWanderingPanicsOnBadInput(t *testing.T) {
+	mustPanic(t, func() { NewWandering(0, 1, 1, rng.New(1)) })
+	mustPanic(t, func() { NewWandering(2, 1, 1, rng.New(1)) })
+	mustPanic(t, func() { NewWandering(1, 2, 0, rng.New(1)) })
+	mustPanic(t, func() { NewWandering(1, 2, 1, nil) })
+	w := NewWandering(1, 2, 1, rng.New(1))
+	mustPanic(t, func() { w.RealAfterLocal(0, 0) })
+	mustPanic(t, func() { w.LocalAt(simtime.Time(-1)) })
+}
+
+func TestPerfectModel(t *testing.T) {
+	m := PerfectModel{}
+	c := m.NewClock(nil)
+	if got := c.LocalAt(7); got != 7 {
+		t.Fatalf("perfect clock LocalAt(7) = %v", got)
+	}
+	low, high := m.Bounds()
+	if low != 1 || high != 1 {
+		t.Fatalf("bounds = %v, %v", low, high)
+	}
+}
+
+func TestUniformFixedModelWithinBounds(t *testing.T) {
+	m := NewUniformFixedModel(0.5, 2)
+	root := rng.New(8)
+	for i := 0; i < 100; i++ {
+		c := m.NewClock(root.DeriveIndexed("clock", i))
+		low, high := c.RateBounds()
+		if low != high {
+			t.Fatal("uniform fixed model must produce constant-rate clocks")
+		}
+		if low < 0.5 || low > 2 {
+			t.Fatalf("rate %v outside model bounds", low)
+		}
+	}
+}
+
+func TestUniformFixedModelRejectsNilSource(t *testing.T) {
+	mustPanic(t, func() { NewUniformFixedModel(0.5, 2).NewClock(nil) })
+}
+
+func TestModelsReportBounds(t *testing.T) {
+	models := []Model{
+		PerfectModel{},
+		NewUniformFixedModel(0.5, 2),
+		NewWanderingModel(0.25, 4, 1),
+	}
+	for _, m := range models {
+		low, high := m.Bounds()
+		if !(low > 0) || high < low {
+			t.Fatalf("%T: invalid bounds (%v, %v)", m, low, high)
+		}
+	}
+}
+
+func TestWanderingModelClocksIndependent(t *testing.T) {
+	m := NewWanderingModel(0.5, 2, 1)
+	root := rng.New(9)
+	a := m.NewClock(root.DeriveIndexed("clock", 0))
+	b := m.NewClock(root.DeriveIndexed("clock", 1))
+	same := 0
+	for i := 1; i <= 50; i++ {
+		tt := simtime.Time(float64(i) * 0.37)
+		if a.LocalAt(tt) == b.LocalAt(tt) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("two nodes' clocks agree on %d/50 readings; streams not independent", same)
+	}
+}
+
+func TestWanderingBoundsProperty(t *testing.T) {
+	// Property: for arbitrary seeds, the average rate over [0, T] is within
+	// the configured bounds.
+	f := func(seed uint64) bool {
+		w := NewWandering(0.5, 1.5, 0.8, rng.New(seed))
+		const T = 25.0
+		local := w.LocalAt(simtime.Time(T))
+		return local >= 0.5*T-1e-9 && local <= 1.5*T+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

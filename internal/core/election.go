@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"abenet/internal/network"
+)
+
+// State is the election state of a node (Section 3 of the paper).
+type State int
+
+// The four node states. Idle nodes may wake up and contend; active nodes
+// have a message of their own in flight; passive nodes only relay; the
+// leader is the unique winner.
+const (
+	Idle State = iota + 1
+	Active
+	Passive
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Passive:
+		return "passive"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// HopMessage is the single message type of the election algorithm: a hop
+// counter in {1..n} certifying that Hop−1 consecutive predecessors of the
+// receiver are passive.
+type HopMessage struct {
+	Hop int
+}
+
+// tickTimer is the kind of the per-node wake-up timer.
+const tickTimer = 1
+
+// A0ForRing returns the base activation parameter for a ring of size n with
+// expected per-link delay delta and local tick interval tick, scaled by the
+// aggressiveness constant c (c = 1 is the balanced default).
+//
+// Rationale: the adaptive rule keeps the network-wide activation rate at
+// about A0·n per tick — constant over time, which is the paper's stated
+// design goal. A freshly activated node's message needs about n·delta time
+// to traverse the ring; the election succeeds quickly once the expected
+// number of interfering activations within one traversal, A0·n·(n·delta) /
+// tick, is a small constant c. Solving gives A0 = c·tick/(n²·delta): with
+// this choice the algorithm waits Θ(n) expected time for a viable
+// activation, spends Θ(n) on the winning traversal and Θ(1) expected failed
+// rounds of Θ(n) messages — the paper's average linear time and message
+// complexity. Larger c trades more knockout collisions (messages) for less
+// waiting (time); smaller c the reverse (experiment E6 sweeps c).
+//
+// The result is clamped into (0, 1/2] so it is always a valid probability.
+func A0ForRing(n int, delta, tick, c float64) float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("core: A0ForRing needs n >= 2, got %d", n))
+	}
+	if !(delta > 0) || !(tick > 0) || !(c > 0) {
+		panic(fmt.Sprintf("core: A0ForRing needs positive delta, tick and c (got %g, %g, %g)", delta, tick, c))
+	}
+	a0 := c * tick / (float64(n) * float64(n) * delta)
+	if a0 > 0.5 {
+		a0 = 0.5
+	}
+	return a0
+}
+
+// DefaultA0 is A0ForRing for the canonical environment: unit expected
+// delay, unit ticks, c = 1.
+func DefaultA0(n int) float64 { return A0ForRing(n, 1, 1, 1) }
+
+// ElectionNode runs the paper's election algorithm for anonymous,
+// unidirectional rings of known size n:
+//
+//   - If idle, at every local clock tick, with probability 1−(1−A0)^d
+//     become active and send ⟨1⟩.
+//   - On receiving ⟨hop⟩, set d := max(d, hop); then if idle become
+//     passive and send ⟨d+1⟩; if passive send ⟨d+1⟩; if active become
+//     leader when hop = n, otherwise idle — purging the message either way.
+//
+// The exponent d in the activation probability is the paper's key idea: d−1
+// predecessors are known passive, so a node that speaks for d ring
+// positions raises its wake-up rate to keep the *overall* activation rate
+// constant over time, yielding linear average time and message complexity.
+type ElectionNode struct {
+	ringSize     int
+	a0           float64
+	tickInterval float64
+	stopOnLeader bool
+	constantAct  bool
+
+	state State
+	d     int
+
+	// Counters for experiments and invariant checks.
+	Activations    int      // idle→active transitions
+	Knockouts      int      // messages purged while active (hop < n)
+	Relays         int      // messages forwarded (as idle or passive)
+	ResidualPurges int      // messages purged after becoming leader
+	Violations     []string // invariant violations observed (always empty if the algorithm is correct)
+}
+
+var _ network.Node = (*ElectionNode)(nil)
+
+// ElectionNodeConfig configures one election node.
+type ElectionNodeConfig struct {
+	// RingSize is the known ring size n (the paper assumes known n).
+	RingSize int
+	// A0 is the base activation parameter, in (0, 1).
+	A0 float64
+	// TickInterval is the local-clock period between wake-up attempts.
+	// The paper's "every clock tick" is one local time unit; 0 means 1.
+	TickInterval float64
+	// StopOnLeader halts the network as soon as this node wins. Turn it
+	// off for safety experiments that keep running to look for a second
+	// leader.
+	StopOnLeader bool
+	// ConstantActivation disables the paper's d-adaptive wake-up rule and
+	// always activates with probability A0. This is the E5 ablation: it
+	// remains correct but loses the constant overall wake-up rate that
+	// gives the algorithm its linear complexity.
+	ConstantActivation bool
+}
+
+// NewElectionNode validates the configuration and returns a node in the
+// initial state (idle, d = 1).
+func NewElectionNode(cfg ElectionNodeConfig) (*ElectionNode, error) {
+	if cfg.RingSize < 2 {
+		return nil, fmt.Errorf("core: ring size %d must be at least 2", cfg.RingSize)
+	}
+	if !(cfg.A0 > 0 && cfg.A0 < 1) {
+		return nil, fmt.Errorf("core: A0 = %g must be in (0, 1)", cfg.A0)
+	}
+	if cfg.TickInterval < 0 || math.IsNaN(cfg.TickInterval) || math.IsInf(cfg.TickInterval, 0) {
+		return nil, fmt.Errorf("core: tick interval %g must be non-negative and finite", cfg.TickInterval)
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 1
+	}
+	return &ElectionNode{
+		ringSize:     cfg.RingSize,
+		a0:           cfg.A0,
+		tickInterval: cfg.TickInterval,
+		stopOnLeader: cfg.StopOnLeader,
+		constantAct:  cfg.ConstantActivation,
+		state:        Idle,
+		d:            1,
+	}, nil
+}
+
+// State returns the node's current election state.
+func (e *ElectionNode) State() State { return e.state }
+
+// D returns the node's current knowledge counter d (d−1 predecessors are
+// known passive).
+func (e *ElectionNode) D() int { return e.d }
+
+// ActivationProbability returns the per-tick wake-up probability at the
+// node's current knowledge: 1−(1−A0)^d, or the constant A0 under the
+// ablation.
+func (e *ElectionNode) ActivationProbability() float64 {
+	if e.constantAct {
+		return e.a0
+	}
+	return 1 - math.Pow(1-e.a0, float64(e.d))
+}
+
+// Init implements network.Node: start the local tick loop.
+func (e *ElectionNode) Init(ctx *network.Context) {
+	ctx.SetLocalTimer(e.tickInterval, tickTimer)
+}
+
+// OnTimer implements network.Node: the idle wake-up rule.
+func (e *ElectionNode) OnTimer(ctx *network.Context, kind int) {
+	if kind != tickTimer {
+		e.violate("unexpected timer kind %d", kind)
+		return
+	}
+	// The tick loop runs for the node's lifetime; only idle ticks can act.
+	ctx.SetLocalTimer(e.tickInterval, tickTimer)
+	if e.state != Idle {
+		return
+	}
+	if ctx.Rand().Bool(e.ActivationProbability()) {
+		e.state = Active
+		e.Activations++
+		ctx.Send(0, HopMessage{Hop: 1})
+	}
+}
+
+// OnMessage implements network.Node: the forwarding/knockout rule.
+func (e *ElectionNode) OnMessage(ctx *network.Context, _ int, payload any) {
+	msg, ok := payload.(HopMessage)
+	if !ok {
+		e.violate("foreign payload %T", payload)
+		return
+	}
+	if msg.Hop < 1 || msg.Hop > e.ringSize {
+		// The algorithm guarantees hop ∈ {1..n}; seeing anything else
+		// means the protocol (or this implementation) is broken.
+		e.violate("hop %d outside [1, %d]", msg.Hop, e.ringSize)
+		return
+	}
+	if msg.Hop > e.d {
+		e.d = msg.Hop
+	}
+
+	switch e.state {
+	case Idle:
+		e.state = Passive
+		e.Relays++
+		ctx.Send(0, HopMessage{Hop: e.d + 1})
+	case Passive:
+		e.Relays++
+		ctx.Send(0, HopMessage{Hop: e.d + 1})
+	case Active:
+		if msg.Hop == e.ringSize {
+			e.state = Leader
+			if e.stopOnLeader {
+				ctx.StopNetwork("leader elected")
+			}
+		} else {
+			e.Knockouts++
+			e.state = Idle
+		}
+		// The message is purged in both cases: no forward.
+	case Leader:
+		// With message reordering the leader's earlier activations can
+		// leave residual messages alive; by the time the leader is
+		// elected every other node is passive, so such messages circulate
+		// straight back to the leader. Purge them silently — they are
+		// part of correct executions (observable with StopOnLeader off).
+		e.ResidualPurges++
+	default:
+		e.violate("impossible state %v", e.state)
+	}
+}
+
+func (e *ElectionNode) violate(format string, args ...any) {
+	e.Violations = append(e.Violations, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"abenet/internal/channel"
+	"abenet/internal/clock"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/topology"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Delta: 0, SLow: 1, SHigh: 1},
+		{Delta: -1, SLow: 1, SHigh: 1},
+		{Delta: 1, SLow: 0, SHigh: 1},
+		{Delta: 1, SLow: 2, SHigh: 1},
+		{Delta: 1, SLow: 1, SHigh: 1, Gamma: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestParamsAdmits(t *testing.T) {
+	declared := Params{Delta: 2, SLow: 0.5, SHigh: 2, Gamma: 0.5}
+	within := Params{Delta: 1.5, SLow: 0.8, SHigh: 1.5, Gamma: 0.2}
+	if !declared.Admits(within) {
+		t.Fatal("tighter network rejected")
+	}
+	tooSlow := within
+	tooSlow.SLow = 0.4
+	if declared.Admits(tooSlow) {
+		t.Fatal("clock slower than declared accepted")
+	}
+	tooDelayed := within
+	tooDelayed.Delta = 3
+	if declared.Admits(tooDelayed) {
+		t.Fatal("delay above declared δ accepted")
+	}
+}
+
+type nopNode struct{}
+
+func (nopNode) Init(*network.Context)                {}
+func (nopNode) OnMessage(*network.Context, int, any) {}
+func (nopNode) OnTimer(*network.Context, int)        {}
+
+func buildNet(t *testing.T) *network.Network {
+	t.Helper()
+	net, err := network.New(network.Config{
+		Graph:      topology.Ring(4),
+		Links:      channel.RandomDelayFactory(dist.NewExponential(1.5)),
+		Clocks:     clock.NewUniformFixedModel(0.5, 2),
+		Processing: dist.NewDeterministic(0.1),
+		Seed:       1,
+	}, func(int) network.Node { return nopNode{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestParamsOf(t *testing.T) {
+	p := ParamsOf(buildNet(t))
+	want := Params{Delta: 1.5, SLow: 0.5, SHigh: 2, Gamma: 0.1}
+	if p != want {
+		t.Fatalf("ParamsOf = %+v, want %+v", p, want)
+	}
+}
+
+func TestVerifyNetwork(t *testing.T) {
+	net := buildNet(t)
+	ok := Params{Delta: 2, SLow: 0.5, SHigh: 2, Gamma: 0.2}
+	if err := VerifyNetwork(net, ok); err != nil {
+		t.Fatalf("valid declaration rejected: %v", err)
+	}
+	tooTight := Params{Delta: 1, SLow: 0.5, SHigh: 2, Gamma: 0.2}
+	if err := VerifyNetwork(net, tooTight); err == nil {
+		t.Fatal("δ violation not reported")
+	}
+	badGamma := Params{Delta: 2, SLow: 0.5, SHigh: 2, Gamma: 0.01}
+	if err := VerifyNetwork(net, badGamma); err == nil {
+		t.Fatal("γ violation not reported")
+	}
+	invalid := Params{Delta: -1, SLow: 0.5, SHigh: 2}
+	if err := VerifyNetwork(net, invalid); err == nil {
+		t.Fatal("invalid declaration not reported")
+	}
+}
+
+func TestVerifyNetworkClockBounds(t *testing.T) {
+	net := buildNet(t)
+	narrowClocks := Params{Delta: 2, SLow: 0.9, SHigh: 1.1, Gamma: 0.2}
+	if err := VerifyNetwork(net, narrowClocks); err == nil {
+		t.Fatal("clock bound violations not reported")
+	}
+}

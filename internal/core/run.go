@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/clock"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// ElectionConfig describes one complete election experiment: the ring, the
+// ABE environment, the algorithm parameters and the run bounds.
+type ElectionConfig struct {
+	// N is the ring size (>= 2).
+	N int
+	// A0 is the base activation parameter, in (0, 1).
+	A0 float64
+	// Delay is the per-link message delay distribution. Nil means
+	// Exponential with mean 1 (δ = 1), the canonical ABE link.
+	Delay dist.Dist
+	// Links optionally overrides Delay with a full link factory (e.g.
+	// ARQ or FIFO links). When set, Delay is ignored.
+	Links channel.Factory
+	// Clocks is the local clock model. Nil means perfect clocks.
+	Clocks clock.Model
+	// Processing is the event-processing time model (γ). Nil means
+	// instantaneous.
+	Processing dist.Dist
+	// TickInterval is the local tick period; 0 means 1.
+	TickInterval float64
+	// ConstantActivation enables the E5 ablation.
+	ConstantActivation bool
+	// KeepRunning disables stop-on-leader: the run continues to Horizon,
+	// exposing residual traffic and (if the algorithm were wrong) second
+	// leaders. Safety experiments use this.
+	KeepRunning bool
+	// Horizon bounds virtual time; 0 means unbounded.
+	Horizon simtime.Time
+	// MaxEvents bounds the number of simulation events; 0 means 50e6,
+	// a generous livelock guard.
+	MaxEvents uint64
+	// Seed determines the whole run.
+	Seed uint64
+	// Tracer optionally observes the run.
+	Tracer network.Tracer
+}
+
+// ElectionResult summarises one election run.
+type ElectionResult struct {
+	// Elected reports whether some node reached the leader state.
+	Elected bool
+	// LeaderIndex is the simulator-level index of the leader, or -1. It
+	// is measurement-only: the protocol itself never sees identities.
+	LeaderIndex int
+	// Leaders counts nodes in the leader state (must be 1 after a
+	// successful election, and is the safety property under test).
+	Leaders int
+	// Messages is the number of logical message sends.
+	Messages uint64
+	// Transmissions counts physical transmissions (≥ Messages for ARQ).
+	Transmissions uint64
+	// Time is the virtual time at which the run ended (for StopOnLeader
+	// runs: the election time).
+	Time float64
+	// Activations sums idle→active transitions over all nodes.
+	Activations int
+	// Knockouts sums purged messages over all nodes.
+	Knockouts int
+	// ResidualPurges counts messages absorbed by the leader.
+	ResidualPurges int
+	// Violations collects invariant violations from all nodes; empty in
+	// every correct run.
+	Violations []string
+	// Params are the tightest ABE parameters of the simulated network.
+	Params Params
+}
+
+// RunElection builds an anonymous unidirectional ABE ring per cfg and runs
+// the paper's election algorithm on it until a leader is elected (or the
+// configured bounds are hit).
+func RunElection(cfg ElectionConfig) (ElectionResult, error) {
+	if cfg.N < 2 {
+		return ElectionResult{}, fmt.Errorf("core: ring size %d must be at least 2", cfg.N)
+	}
+	links := cfg.Links
+	if links == nil {
+		delay := cfg.Delay
+		if delay == nil {
+			delay = dist.NewExponential(1)
+		}
+		links = channel.RandomDelayFactory(delay)
+	}
+	if cfg.KeepRunning && cfg.Horizon == 0 {
+		return ElectionResult{}, fmt.Errorf("core: KeepRunning requires a finite Horizon (tick timers never quiesce)")
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = simtime.Forever
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 50_000_000
+	}
+
+	nodes := make([]*ElectionNode, cfg.N)
+	var buildErr error
+	net, err := network.New(network.Config{
+		Graph:      topology.Ring(cfg.N),
+		Links:      links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		Anonymous:  true,
+		Tracer:     cfg.Tracer,
+	}, func(i int) network.Node {
+		node, err := NewElectionNode(ElectionNodeConfig{
+			RingSize:           cfg.N,
+			A0:                 cfg.A0,
+			TickInterval:       cfg.TickInterval,
+			StopOnLeader:       !cfg.KeepRunning,
+			ConstantActivation: cfg.ConstantActivation,
+		})
+		if err != nil {
+			buildErr = err
+			return brokenNode{}
+		}
+		nodes[i] = node
+		return node
+	})
+	if buildErr != nil {
+		return ElectionResult{}, buildErr
+	}
+	if err != nil {
+		return ElectionResult{}, err
+	}
+
+	if err := net.Run(horizon, maxEvents); err != nil {
+		return ElectionResult{}, err
+	}
+
+	res := ElectionResult{LeaderIndex: -1, Params: ParamsOf(net)}
+	for i, node := range nodes {
+		if node.State() == Leader {
+			res.Leaders++
+			res.LeaderIndex = i
+		}
+		res.Activations += node.Activations
+		res.Knockouts += node.Knockouts
+		res.ResidualPurges += node.ResidualPurges
+		res.Violations = append(res.Violations, node.Violations...)
+	}
+	res.Elected = res.Leaders > 0
+	m := net.Metrics()
+	res.Messages = m.MessagesSent
+	res.Transmissions = m.Transmissions
+	res.Time = float64(net.Now())
+	return res, nil
+}
+
+// brokenNode is a placeholder returned while aborting construction; it is
+// never run because RunElection returns the construction error first.
+type brokenNode struct{}
+
+func (brokenNode) Init(*network.Context)                {}
+func (brokenNode) OnMessage(*network.Context, int, any) {}
+func (brokenNode) OnTimer(*network.Context, int)        {}

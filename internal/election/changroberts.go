@@ -1,0 +1,164 @@
+package election
+
+import (
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/rng"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// crMessage carries a candidate identity around the ring.
+type crMessage struct {
+	ID int
+}
+
+// ChangRobertsNode is the Chang–Roberts election for asynchronous
+// unidirectional rings with unique identities: every node starts as a
+// candidate and circulates its identity; identities smaller than the
+// receiver's are purged, larger ones turn the receiver passive and are
+// forwarded, and a node receiving its own identity wins.
+//
+// Average message complexity over random identity arrangements is
+// Θ(n log n); the worst case (identities increasing around the ring) is
+// Θ(n²). It contrasts the paper's anonymous Θ(n) algorithm with what
+// unique identities alone achieve on the same asynchronous ring.
+type ChangRobertsNode struct {
+	id     int
+	active bool
+	leader bool
+}
+
+var _ network.Node = (*ChangRobertsNode)(nil)
+
+// NewChangRobertsNode returns a candidate node with the given unique
+// identity.
+func NewChangRobertsNode(id int) *ChangRobertsNode {
+	return &ChangRobertsNode{id: id, active: true}
+}
+
+// IsLeader reports whether this node won.
+func (p *ChangRobertsNode) IsLeader() bool { return p.leader }
+
+// Init implements network.Node: announce candidacy.
+func (p *ChangRobertsNode) Init(ctx *network.Context) {
+	ctx.Send(0, crMessage{ID: p.id})
+}
+
+// OnTimer implements network.Node; the algorithm is purely message-driven.
+func (p *ChangRobertsNode) OnTimer(*network.Context, int) {}
+
+// OnMessage implements network.Node.
+func (p *ChangRobertsNode) OnMessage(ctx *network.Context, _ int, payload any) {
+	m, ok := payload.(crMessage)
+	if !ok {
+		panic(fmt.Sprintf("election: foreign payload %T on Chang-Roberts ring", payload))
+	}
+	switch {
+	case !p.active:
+		ctx.Send(0, m)
+	case m.ID > p.id:
+		p.active = false
+		ctx.Send(0, m)
+	case m.ID == p.id:
+		p.leader = true
+		ctx.StopNetwork("leader elected")
+	default:
+		// Purge smaller identities.
+	}
+}
+
+// ChangRobertsArrangement selects how identities are laid out on the ring.
+type ChangRobertsArrangement int
+
+// Identity arrangements: random permutations give the Θ(n log n) average
+// case. Ascending identities (in the direction of travel) are the Θ(n)
+// best case — every token dies at its first hop. Descending identities are
+// the Θ(n²) worst case — the token with identity k survives all the way to
+// the maximum.
+const (
+	ArrangementRandom ChangRobertsArrangement = iota + 1
+	ArrangementAscending
+	ArrangementDescending
+)
+
+// ChangRobertsConfig configures a Chang–Roberts run.
+type ChangRobertsConfig struct {
+	N           int
+	Arrangement ChangRobertsArrangement // 0 means ArrangementRandom
+	Delay       dist.Dist               // nil means Exponential(1)
+	Seed        uint64
+	MaxEvents   uint64 // 0 means 50e6
+}
+
+// RunChangRoberts runs the Chang–Roberts election on a unidirectional ring
+// with unique identities.
+func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
+	if cfg.N < 2 {
+		return AsyncRingResult{}, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = dist.NewExponential(1)
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 50_000_000
+	}
+	ids, err := identityArrangement(cfg.N, cfg.Arrangement, cfg.Seed)
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+
+	nodes := make([]*ChangRobertsNode, cfg.N)
+	net, err := network.New(network.Config{
+		Graph: topology.Ring(cfg.N),
+		Links: channel.RandomDelayFactory(delay),
+		Seed:  cfg.Seed,
+	}, func(i int) network.Node {
+		nodes[i] = NewChangRobertsNode(ids[i])
+		return nodes[i]
+	})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+	if err := net.Run(simtime.Forever, maxEvents); err != nil {
+		return AsyncRingResult{}, err
+	}
+	res := AsyncRingResult{LeaderIndex: -1}
+	for i, node := range nodes {
+		if node.IsLeader() {
+			res.Leaders++
+			res.LeaderIndex = i
+		}
+	}
+	res.Elected = res.Leaders > 0
+	res.Messages = net.Metrics().MessagesSent
+	res.Time = float64(net.Now())
+	return res, nil
+}
+
+func identityArrangement(n int, a ChangRobertsArrangement, seed uint64) ([]int, error) {
+	ids := make([]int, n)
+	switch a {
+	case ArrangementRandom, 0:
+		perm := rng.New(seed).Derive("cr-ids").Perm(n)
+		for i, p := range perm {
+			ids[i] = p + 1
+		}
+	case ArrangementAscending:
+		for i := range ids {
+			ids[i] = i + 1
+		}
+	case ArrangementDescending:
+		for i := range ids {
+			ids[i] = n - i
+		}
+	default:
+		return nil, fmt.Errorf("election: unknown arrangement %d", a)
+	}
+	return ids, nil
+}

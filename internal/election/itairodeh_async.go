@@ -1,0 +1,185 @@
+package election
+
+import (
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// iraMessage is the Itai–Rodeh token: a random identity, a hop counter, the
+// election round it belongs to, and a dirty bit marking an identity clash.
+type iraMessage struct {
+	ID    int
+	Hop   int
+	Round int
+	Dirty bool
+}
+
+// ItaiRodehAsyncNode is the classic Itai–Rodeh election for anonymous
+// asynchronous unidirectional rings of known size n with FIFO channels.
+//
+// Every node starts active in round 1 with a random identity from {1..n}
+// and sends ⟨id, 1, round, clean⟩. An active node purges tokens smaller
+// than its own (by round, then id), turns passive on larger ones, marks
+// tokens carrying its own identity dirty, and when its own token returns
+// (hop = n) either wins (clean) or draws a fresh identity and starts the
+// next round (dirty). Expected message complexity is Θ(n log n) — the
+// anonymous asynchronous baseline the ABE algorithm's Θ(n) is measured
+// against. FIFO links are required for correctness.
+type ItaiRodehAsyncNode struct {
+	ringSize int
+
+	active bool
+	leader bool
+	id     int
+	round  int
+
+	// RoundsStarted counts identity draws, for the experiment harness.
+	RoundsStarted int
+}
+
+var _ network.Node = (*ItaiRodehAsyncNode)(nil)
+
+// NewItaiRodehAsyncNode returns a node for rings of known size n.
+func NewItaiRodehAsyncNode(n int) (*ItaiRodehAsyncNode, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("election: ring size %d must be at least 2", n)
+	}
+	return &ItaiRodehAsyncNode{ringSize: n, active: true}, nil
+}
+
+// IsLeader reports whether this node won.
+func (p *ItaiRodehAsyncNode) IsLeader() bool { return p.leader }
+
+// Init implements network.Node: start round 1 with a fresh identity.
+func (p *ItaiRodehAsyncNode) Init(ctx *network.Context) {
+	p.startRound(ctx)
+}
+
+func (p *ItaiRodehAsyncNode) startRound(ctx *network.Context) {
+	p.round++
+	p.RoundsStarted++
+	p.id = 1 + ctx.Rand().Intn(p.ringSize)
+	ctx.Send(0, iraMessage{ID: p.id, Hop: 1, Round: p.round, Dirty: false})
+}
+
+// OnTimer implements network.Node; the algorithm is purely message-driven.
+func (p *ItaiRodehAsyncNode) OnTimer(*network.Context, int) {}
+
+// OnMessage implements network.Node.
+func (p *ItaiRodehAsyncNode) OnMessage(ctx *network.Context, _ int, payload any) {
+	m, ok := payload.(iraMessage)
+	if !ok {
+		panic(fmt.Sprintf("election: foreign payload %T on Itai-Rodeh ring", payload))
+	}
+	if !p.active {
+		ctx.Send(0, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: m.Dirty})
+		return
+	}
+	// Active: compare (round, id) lexicographically.
+	switch {
+	case m.Round > p.round || (m.Round == p.round && m.ID > p.id):
+		p.active = false
+		ctx.Send(0, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: m.Dirty})
+	case m.Round < p.round || (m.Round == p.round && m.ID < p.id):
+		// Purge: our token dominates this one.
+	case m.Hop == p.ringSize:
+		// Our own token came home.
+		if m.Dirty {
+			p.startRound(ctx)
+		} else {
+			p.leader = true
+			ctx.StopNetwork("leader elected")
+		}
+	default:
+		// Same round and identity but not ours (hop < n): an identity
+		// clash; mark it dirty and pass it on.
+		ctx.Send(0, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: true})
+	}
+}
+
+// AsyncRingConfig configures an asynchronous ring election baseline run.
+type AsyncRingConfig struct {
+	// N is the ring size.
+	N int
+	// Delay is the link delay distribution; nil means Exponential(1),
+	// matching the ABE experiments.
+	Delay dist.Dist
+	// Seed drives the run.
+	Seed uint64
+	// MaxEvents guards against livelock; 0 means 50e6.
+	MaxEvents uint64
+}
+
+// AsyncRingResult summarises an asynchronous baseline run.
+type AsyncRingResult struct {
+	Elected     bool
+	LeaderIndex int
+	Leaders     int
+	Messages    uint64
+	Time        float64
+}
+
+// RunItaiRodehAsync runs the asynchronous Itai–Rodeh election on an
+// anonymous unidirectional ring with FIFO links (the algorithm's channel
+// assumption).
+func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
+	if cfg.N < 2 {
+		return AsyncRingResult{}, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = dist.NewExponential(1)
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 50_000_000
+	}
+	nodes := make([]*ItaiRodehAsyncNode, cfg.N)
+	var buildErr error
+	net, err := network.New(network.Config{
+		Graph:     topology.Ring(cfg.N),
+		Links:     channel.FIFOFactory(delay),
+		Seed:      cfg.Seed,
+		Anonymous: true,
+	}, func(i int) network.Node {
+		node, err := NewItaiRodehAsyncNode(cfg.N)
+		if err != nil {
+			buildErr = err
+			return brokenAsyncNode{}
+		}
+		nodes[i] = node
+		return node
+	})
+	if buildErr != nil {
+		return AsyncRingResult{}, buildErr
+	}
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+	if err := net.Run(simtime.Forever, maxEvents); err != nil {
+		return AsyncRingResult{}, err
+	}
+	res := AsyncRingResult{LeaderIndex: -1}
+	for i, node := range nodes {
+		if node.IsLeader() {
+			res.Leaders++
+			res.LeaderIndex = i
+		}
+	}
+	res.Elected = res.Leaders > 0
+	res.Messages = net.Metrics().MessagesSent
+	res.Time = float64(net.Now())
+	return res, nil
+}
+
+// brokenAsyncNode is a placeholder while aborting construction.
+type brokenAsyncNode struct{}
+
+func (brokenAsyncNode) Init(*network.Context)                {}
+func (brokenAsyncNode) OnMessage(*network.Context, int, any) {}
+func (brokenAsyncNode) OnTimer(*network.Context, int)        {}

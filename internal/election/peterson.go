@@ -1,0 +1,153 @@
+package election
+
+import (
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// petersonMessage carries a temporary identity around the ring. Step
+// distinguishes the phase's first relay (the nearest active predecessor's
+// identity) from the second (the second-nearest's).
+type petersonMessage struct {
+	Step int // 1 or 2
+	TID  int
+}
+
+// PetersonNode is Peterson's unidirectional election (1982): a
+// deterministic O(n log n) worst-case algorithm for asynchronous
+// unidirectional rings with unique identities and FIFO channels.
+//
+// Every node starts active with its identity as temporary identity t. In
+// each phase an active node sends ⟨1, t⟩, learns the nearest active
+// predecessor's identity t1 (relayed by passive nodes), forwards it as
+// ⟨2, t1⟩, and learns the second-nearest's identity t2. If t1 is a local
+// maximum (t1 > t and t1 > t2) the node stays active adopting t1;
+// otherwise it turns passive and relays from then on. A node that receives
+// its own temporary identity as t1 is the unique remaining active node and
+// wins. Each phase at least halves the actives and costs at most 2n
+// messages, giving the 2n·log n worst-case bound — the deterministic
+// counterpart to Chang–Roberts' average case in experiment E7.
+type PetersonNode struct {
+	id     int
+	active bool
+	leader bool
+
+	tid    int
+	gotOne bool
+	t1     int
+	// Phases counts how many phases this node remained active.
+	Phases int
+}
+
+var _ network.Node = (*PetersonNode)(nil)
+
+// NewPetersonNode returns an active node with the given unique identity.
+func NewPetersonNode(id int) *PetersonNode {
+	return &PetersonNode{id: id, active: true, tid: id}
+}
+
+// IsLeader reports whether this node won.
+func (p *PetersonNode) IsLeader() bool { return p.leader }
+
+// Init implements network.Node: open phase one.
+func (p *PetersonNode) Init(ctx *network.Context) {
+	p.Phases = 1
+	ctx.Send(0, petersonMessage{Step: 1, TID: p.tid})
+}
+
+// OnTimer implements network.Node; Peterson is message-driven.
+func (p *PetersonNode) OnTimer(*network.Context, int) {}
+
+// OnMessage implements network.Node.
+func (p *PetersonNode) OnMessage(ctx *network.Context, _ int, payload any) {
+	m, ok := payload.(petersonMessage)
+	if !ok {
+		panic(fmt.Sprintf("election: foreign payload %T on Peterson ring", payload))
+	}
+	if !p.active {
+		ctx.Send(0, m)
+		return
+	}
+	switch m.Step {
+	case 1:
+		if m.TID == p.tid {
+			// Our own temporary identity travelled the whole ring: we are
+			// the last active node.
+			p.leader = true
+			ctx.StopNetwork("leader elected")
+			return
+		}
+		p.t1 = m.TID
+		p.gotOne = true
+		ctx.Send(0, petersonMessage{Step: 2, TID: m.TID})
+	case 2:
+		if !p.gotOne {
+			// FIFO channels and in-order relaying make step-2 before
+			// step-1 impossible; seeing it means the channel assumption
+			// was violated.
+			panic("election: Peterson received step 2 before step 1 (non-FIFO channel?)")
+		}
+		p.gotOne = false
+		if p.t1 > p.tid && p.t1 > m.TID {
+			p.tid = p.t1
+			p.Phases++
+			ctx.Send(0, petersonMessage{Step: 1, TID: p.tid})
+		} else {
+			p.active = false
+		}
+	default:
+		panic(fmt.Sprintf("election: Peterson message step %d", m.Step))
+	}
+}
+
+// RunPeterson runs Peterson's election on a unidirectional ring with
+// unique identities and FIFO links.
+func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
+	if cfg.N < 2 {
+		return AsyncRingResult{}, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = dist.NewExponential(1)
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 50_000_000
+	}
+	ids, err := identityArrangement(cfg.N, cfg.Arrangement, cfg.Seed)
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+
+	nodes := make([]*PetersonNode, cfg.N)
+	net, err := network.New(network.Config{
+		Graph: topology.Ring(cfg.N),
+		Links: channel.FIFOFactory(delay), // Peterson requires FIFO
+		Seed:  cfg.Seed,
+	}, func(i int) network.Node {
+		nodes[i] = NewPetersonNode(ids[i])
+		return nodes[i]
+	})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+	if err := net.Run(simtime.Forever, maxEvents); err != nil {
+		return AsyncRingResult{}, err
+	}
+	res := AsyncRingResult{LeaderIndex: -1}
+	for i, node := range nodes {
+		if node.IsLeader() {
+			res.Leaders++
+			res.LeaderIndex = i
+		}
+	}
+	res.Elected = res.Leaders > 0
+	res.Messages = net.Metrics().MessagesSent
+	res.Time = float64(net.Now())
+	return res, nil
+}

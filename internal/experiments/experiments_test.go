@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts runs every experiment in its reduced configuration; the full
+// configurations are exercised by cmd/abe-bench and the benchmarks.
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 1}
+}
+
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if res.ID != exp.ID {
+				t.Fatalf("result ID %q for experiment %q", res.ID, exp.ID)
+			}
+			if res.Claim == "" {
+				t.Fatal("empty claim")
+			}
+			if len(res.Tables()) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, table := range res.Tables() {
+				if len(table.Rows) == 0 {
+					t.Fatalf("empty table %q", table.Title)
+				}
+			}
+			if !res.Pass {
+				var b strings.Builder
+				for _, table := range res.Tables() {
+					if err := table.Render(&b); err != nil {
+						t.Fatal(err)
+					}
+				}
+				t.Fatalf("%s did not reproduce its claim.\nfindings: %v\n%s", exp.ID, res.Findings, b.String())
+			}
+		})
+	}
+}
+
+func TestSuiteCoversAllTwelve(t *testing.T) {
+	ids := map[string]bool{}
+	for _, exp := range All() {
+		ids[exp.ID] = true
+	}
+	for i := 1; i <= 12; i++ {
+		id := "E" + itoa(i)
+		if !ids[id] {
+			t.Errorf("suite missing %s", id)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestOptionsScaling(t *testing.T) {
+	full := Options{}
+	quick := Options{Quick: true}
+	if full.reps(100) != 100 || quick.reps(100) != 10 {
+		t.Fatal("reps scaling wrong")
+	}
+	if quick.reps(20) != 5 {
+		t.Fatalf("quick floor = %d, want 5", quick.reps(20))
+	}
+	sizes := []float64{1, 2, 3, 4, 5, 6}
+	if len(quick.sizes(sizes)) != 4 || len(full.sizes(sizes)) != 6 {
+		t.Fatal("sizes scaling wrong")
+	}
+}

@@ -1,0 +1,164 @@
+// Package harness runs experiment sweeps: repeated seeded simulations over
+// a parameter range, aggregated into samples, rendered as the tables the
+// paper's claims are checked against (and as CSV for plotting).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"abenet/internal/rng"
+	"abenet/internal/stats"
+)
+
+// Metrics is one run's named measurements.
+type Metrics map[string]float64
+
+// RunFunc executes one simulation at sweep position x with the given seed.
+type RunFunc func(x float64, seed uint64) (Metrics, error)
+
+// Point aggregates all repetitions at one sweep position.
+type Point struct {
+	// X is the sweep variable's value (e.g. the ring size).
+	X float64
+	// Samples holds one aggregated sample per metric name.
+	Samples map[string]*stats.Sample
+}
+
+// Mean returns the mean of a metric at this point (0 if absent).
+func (p Point) Mean(metric string) float64 {
+	s, ok := p.Samples[metric]
+	if !ok {
+		return 0
+	}
+	return s.Mean()
+}
+
+// Sweep describes a parameter sweep.
+type Sweep struct {
+	// Name labels the experiment (used in errors and tables).
+	Name string
+	// Repetitions is the number of seeded runs per sweep position;
+	// 0 means 100.
+	Repetitions int
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the base seed; per-run seeds are derived deterministically
+	// from it, so results are independent of worker scheduling.
+	Seed uint64
+}
+
+// Run executes fn at every position in xs, Repetitions times each, in
+// parallel, and returns one aggregated Point per position (in xs order).
+// The first error aborts the sweep.
+func (s Sweep) Run(xs []float64, fn RunFunc) ([]Point, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("harness: empty sweep")
+	}
+	if fn == nil {
+		return nil, errors.New("harness: nil run function")
+	}
+	reps := s.Repetitions
+	if reps == 0 {
+		reps = 100
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct {
+		xIdx, rep int
+	}
+
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+
+	root := rng.New(s.Seed)
+	seedOf := func(xIdx, rep int) uint64 {
+		// Derivation is pure: identical regardless of scheduling.
+		return root.DeriveIndexed(fmt.Sprintf("%s/x%d", s.Name, xIdx), rep).Uint64()
+	}
+
+	// Workers write each run's metrics into its own slot; aggregation
+	// happens afterwards in canonical (xIdx, rep) order, so the floating-
+	// point folds — and therefore the results — are bit-identical for any
+	// worker count.
+	results := make([][]Metrics, len(xs))
+	errs := make([][]error, len(xs))
+	for i := range xs {
+		results[i] = make([]Metrics, reps)
+		errs[i] = make([]error, reps)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				m, err := fn(xs[t.xIdx], seedOf(t.xIdx, t.rep))
+				results[t.xIdx][t.rep] = m
+				errs[t.xIdx][t.rep] = err
+			}
+		}()
+	}
+	for xIdx := range xs {
+		for rep := 0; rep < reps; rep++ {
+			tasks <- task{xIdx: xIdx, rep: rep}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	points := make([]Point, len(xs))
+	for i, x := range xs {
+		points[i] = Point{X: x, Samples: make(map[string]*stats.Sample)}
+	}
+	for xIdx := range xs {
+		for rep := 0; rep < reps; rep++ {
+			if err := errs[xIdx][rep]; err != nil {
+				return nil, fmt.Errorf("harness: %s at x=%g: %w", s.Name, xs[xIdx], err)
+			}
+			for name, v := range results[xIdx][rep] {
+				sample, ok := points[xIdx].Samples[name]
+				if !ok {
+					sample = &stats.Sample{}
+					points[xIdx].Samples[name] = sample
+				}
+				sample.Add(v)
+			}
+		}
+	}
+	return points, nil
+}
+
+// GrowthExponent fits metric ~ C·x^k over the sweep's points and returns
+// the fitted exponent k (see stats.GrowthExponent).
+func GrowthExponent(points []Point, metric string) (stats.LinearFit, error) {
+	xs := make([]float64, 0, len(points))
+	ys := make([]float64, 0, len(points))
+	for _, p := range points {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Mean(metric))
+	}
+	return stats.GrowthExponent(xs, ys)
+}
+
+// MetricNames returns the sorted union of metric names across points.
+func MetricNames(points []Point) []string {
+	set := map[string]bool{}
+	for _, p := range points {
+		for name := range p.Samples {
+			set[name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,228 @@
+// Package live executes the ABE election on real goroutines and channels
+// rather than on the discrete-event kernel.
+//
+// The simulator (internal/network) gives deterministic, seeded executions —
+// that is what the experiments measure on. This package is the complement:
+// every node is a goroutine, every link delay is a real time.Sleep sampled
+// from the configured distribution, and message reordering comes from the
+// Go scheduler itself. It demonstrates that the protocol's correctness does
+// not depend on simulator artifacts, and it doubles as a reference for
+// embedding the algorithm in a real networked system.
+//
+// Executions here are intentionally nondeterministic; tests assert safety
+// (exactly one leader) and sanity bands, never exact values.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abenet/internal/dist"
+	"abenet/internal/rng"
+)
+
+// ElectionConfig configures a live election run.
+type ElectionConfig struct {
+	// N is the ring size (>= 2).
+	N int
+	// A0 is the base activation parameter in (0, 1); 0 means the
+	// balanced default 1/n² (see core.A0ForRing).
+	A0 float64
+	// MeanDelay is the expected link delay; each message sleeps an
+	// exponentially distributed duration with this mean. 0 means 200µs.
+	MeanDelay time.Duration
+	// TickEvery is the local clock tick period. 0 means MeanDelay.
+	TickEvery time.Duration
+	// Timeout aborts the run; 0 means 30s.
+	Timeout time.Duration
+	// Seed drives all sampling (the scheduler still adds real
+	// nondeterminism).
+	Seed uint64
+}
+
+// ElectionResult reports a live run.
+type ElectionResult struct {
+	// LeaderIndex is the winning node.
+	LeaderIndex int
+	// Leaders counts nodes that believed they won (must be 1).
+	Leaders int
+	// Messages counts sends.
+	Messages uint64
+	// Elapsed is the wall-clock duration until the leader emerged.
+	Elapsed time.Duration
+}
+
+// message is the protocol's hop-counter token.
+type message struct {
+	hop int
+}
+
+// nodeState mirrors the paper's four states.
+type nodeState int
+
+const (
+	stIdle nodeState = iota + 1
+	stActive
+	stPassive
+	stLeader
+)
+
+// RunElection executes the paper's election algorithm on N goroutines
+// connected in a unidirectional ring by delay-simulating channels.
+func RunElection(cfg ElectionConfig) (ElectionResult, error) {
+	if cfg.N < 2 {
+		return ElectionResult{}, fmt.Errorf("live: ring size %d must be at least 2", cfg.N)
+	}
+	a0 := cfg.A0
+	if a0 == 0 {
+		a0 = 1 / (float64(cfg.N) * float64(cfg.N))
+	}
+	if !(a0 > 0 && a0 < 1) {
+		return ElectionResult{}, fmt.Errorf("live: A0 = %g outside (0, 1)", a0)
+	}
+	meanDelay := cfg.MeanDelay
+	if meanDelay == 0 {
+		meanDelay = 200 * time.Microsecond
+	}
+	tickEvery := cfg.TickEvery
+	if tickEvery == 0 {
+		tickEvery = meanDelay
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+
+	n := cfg.N
+	root := rng.New(cfg.Seed)
+	delayDist := dist.NewExponential(float64(meanDelay))
+
+	inboxes := make([]chan message, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan message, 1)
+	}
+
+	var (
+		messages  atomic.Uint64
+		leaderIdx atomic.Int64
+		leaders   atomic.Int64
+		stop      = make(chan struct{}) // closed to tell everyone to quit
+		elected   = make(chan struct{}) // closed once by the winner
+		electOnce sync.Once
+		senders   sync.WaitGroup // in-flight delay goroutines
+		nodeWG    sync.WaitGroup
+	)
+	leaderIdx.Store(-1)
+
+	// send models one link transmission: sleep a sampled delay, then
+	// deliver (unless the run is over). Each message gets an independent
+	// goroutine, so later messages can overtake earlier ones — the
+	// paper's arbitrary per-pair ordering.
+	send := func(from int, m message, r *rng.Source, delayNs float64) {
+		messages.Add(1)
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			timer := time.NewTimer(time.Duration(delayNs))
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-stop:
+				return
+			}
+			select {
+			case inboxes[(from+1)%n] <- m:
+			case <-stop:
+			}
+		}()
+	}
+
+	runNode := func(i int, r *rng.Source) {
+		defer nodeWG.Done()
+		state := stIdle
+		d := 1
+		ticker := time.NewTicker(tickEvery)
+		defer ticker.Stop()
+		// Pre-sample delays on the node's own stream to avoid sharing r
+		// with the sender goroutines.
+		nextDelay := func() float64 { return delayDist.Sample(r) }
+
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if state != stIdle {
+					continue
+				}
+				p := 1 - pow1m(a0, d)
+				if r.Float64() < p {
+					state = stActive
+					send(i, message{hop: 1}, r, nextDelay())
+				}
+			case m := <-inboxes[i]:
+				if m.hop > d {
+					d = m.hop
+				}
+				switch state {
+				case stIdle:
+					state = stPassive
+					send(i, message{hop: d + 1}, r, nextDelay())
+				case stPassive:
+					send(i, message{hop: d + 1}, r, nextDelay())
+				case stActive:
+					if m.hop == n {
+						state = stLeader
+						leaders.Add(1)
+						leaderIdx.Store(int64(i))
+						electOnce.Do(func() { close(elected) })
+					} else {
+						state = stIdle
+					}
+				case stLeader:
+					// Residual traffic; purge.
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	nodeWG.Add(n)
+	for i := 0; i < n; i++ {
+		go runNode(i, root.DeriveIndexed("live-node", i))
+	}
+
+	var err error
+	select {
+	case <-elected:
+	case <-time.After(timeout):
+		err = errors.New("live: election timed out")
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	nodeWG.Wait()
+	senders.Wait()
+
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	return ElectionResult{
+		LeaderIndex: int(leaderIdx.Load()),
+		Leaders:     int(leaders.Load()),
+		Messages:    messages.Load(),
+		Elapsed:     elapsed,
+	}, nil
+}
+
+// pow1m computes (1-a0)^d without math.Pow for small integer d.
+func pow1m(a0 float64, d int) float64 {
+	out := 1.0
+	base := 1 - a0
+	for ; d > 0; d-- {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package live
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLiveElectionElectsExactlyOneLeader(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := RunElection(ElectionConfig{
+			N:         5,
+			MeanDelay: 100 * time.Microsecond,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Leaders != 1 {
+			t.Fatalf("seed %d: %d leaders under real concurrency", seed, res.Leaders)
+		}
+		if res.LeaderIndex < 0 || res.LeaderIndex >= 5 {
+			t.Fatalf("seed %d: leader index %d", seed, res.LeaderIndex)
+		}
+		if res.Messages < 5 {
+			t.Fatalf("seed %d: only %d messages — the winning loop alone needs n", seed, res.Messages)
+		}
+	}
+}
+
+func TestLiveElectionHighContention(t *testing.T) {
+	// A large A0 forces many simultaneous activations and knockouts; the
+	// safety property must survive real scheduler interleavings.
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := RunElection(ElectionConfig{
+			N:         6,
+			A0:        0.3,
+			MeanDelay: 50 * time.Microsecond,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Leaders != 1 {
+			t.Fatalf("seed %d: %d leaders", seed, res.Leaders)
+		}
+	}
+}
+
+func TestLiveElectionLargerRing(t *testing.T) {
+	res, err := RunElection(ElectionConfig{
+		N:         16,
+		A0:        0.02,
+		MeanDelay: 50 * time.Microsecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leaders != 1 {
+		t.Fatalf("%d leaders", res.Leaders)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	if _, err := RunElection(ElectionConfig{N: 1}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := RunElection(ElectionConfig{N: 4, A0: 1.5}); err == nil {
+		t.Fatal("A0=1.5 accepted")
+	}
+}
+
+func TestLiveTimeout(t *testing.T) {
+	// An absurdly small A0 with a tiny timeout must abort cleanly (and
+	// not leak goroutines — the race detector and -count runs would show
+	// leaks as flakiness).
+	_, err := RunElection(ElectionConfig{
+		N:         4,
+		A0:        1e-12,
+		MeanDelay: time.Millisecond,
+		Timeout:   30 * time.Millisecond,
+		Seed:      1,
+	})
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestPow1m(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 10} {
+		want := math.Pow(0.7, float64(d))
+		if got := pow1m(0.3, d); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("pow1m(0.3, %d) = %v, want %v", d, got, want)
+		}
+	}
+	if pow1m(0.3, 0) != 1 {
+		t.Fatal("pow1m(_, 0) must be 1")
+	}
+}

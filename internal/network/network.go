@@ -1,0 +1,337 @@
+// Package network executes message-passing protocols on simulated networks.
+//
+// A Network wires a topology, a link factory (delay model), a clock model
+// and a processing-time model onto the discrete-event kernel, and runs one
+// protocol instance per node. The three ABE quantities of Definition 1 are
+// all first-class here:
+//
+//	δ — every link reports the exact mean of its delay distribution;
+//	    MaxLinkMeanDelay() is the network's tightest valid δ.
+//	s_low, s_high — the clock model declares its rate bounds.
+//	γ — the processing-time distribution's mean.
+//
+// Protocols interact with the world only through a Context: local ports,
+// local timers in local clock time, a private random stream, and the known
+// ring size n. Networks can be declared anonymous, in which case reading
+// the node identity panics — the simulator enforces the paper's anonymity
+// assumption mechanically.
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/clock"
+	"abenet/internal/dist"
+	"abenet/internal/rng"
+	"abenet/internal/sim"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// Node is the behaviour of one protocol instance. Implementations must be
+// deterministic given the Context's random stream.
+type Node interface {
+	// Init runs once at time zero, before any message flows.
+	Init(ctx *Context)
+	// OnMessage handles a message delivered on the given local in-port.
+	OnMessage(ctx *Context, inPort int, payload any)
+	// OnTimer handles a timer set via Context.SetLocalTimer.
+	OnTimer(ctx *Context, kind int)
+}
+
+// Tracer observes network events. Implementations must not mutate protocol
+// state. A nil Tracer disables tracing.
+type Tracer interface {
+	MessageSent(at simtime.Time, from, to int, payload any)
+	MessageDelivered(at simtime.Time, from, to int, payload any)
+	TimerFired(at simtime.Time, node, kind int)
+}
+
+// Metrics aggregates network-wide counters.
+type Metrics struct {
+	MessagesSent      uint64 // logical sends (each hop of a travelling token counts once)
+	MessagesDelivered uint64
+	Transmissions     uint64 // physical transmissions including ARQ retries
+	TimersFired       uint64
+}
+
+// Config describes a network to build.
+type Config struct {
+	// Graph is the communication topology. Required.
+	Graph *topology.Graph
+	// Links builds one link per directed edge. Required.
+	Links channel.Factory
+	// Clocks assigns local clocks. Nil means perfect unit-rate clocks.
+	Clocks clock.Model
+	// Processing is the per-event processing-time distribution (the γ
+	// model). Nil means instantaneous processing.
+	Processing dist.Dist
+	// Seed determines every random choice in the run.
+	Seed uint64
+	// Anonymous networks panic if a protocol reads a node identity.
+	Anonymous bool
+	// Tracer observes events; nil disables tracing.
+	Tracer Tracer
+}
+
+// Network is a runnable protocol deployment. Create one with New, then Run.
+type Network struct {
+	cfg      Config
+	kernel   *sim.Kernel
+	nodes    []Node
+	ctxs     []*Context
+	links    [][]channel.Link // links[u][i] = link for u's i-th out-port
+	allLinks []channel.Link
+	clocks   []clock.Clock
+	nextFree []simtime.Time // per-node completion time of the busy server
+	metrics  Metrics
+	procMean float64
+}
+
+// edgeAddress identifies the receiving side of a directed edge.
+type edgeAddress struct {
+	from, to, inPort int
+}
+
+// New builds a network running makeNode(i) on node i of cfg.Graph.
+func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("network: config needs a graph")
+	}
+	if cfg.Links == nil {
+		return nil, errors.New("network: config needs a link factory")
+	}
+	if makeNode == nil {
+		return nil, errors.New("network: nil node constructor")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if cfg.Clocks == nil {
+		cfg.Clocks = clock.PerfectModel{}
+	}
+
+	n := cfg.Graph.N()
+	root := rng.New(cfg.Seed)
+	net := &Network{
+		cfg:      cfg,
+		kernel:   sim.New(),
+		nodes:    make([]Node, n),
+		ctxs:     make([]*Context, n),
+		links:    make([][]channel.Link, n),
+		clocks:   make([]clock.Clock, n),
+		nextFree: make([]simtime.Time, n),
+	}
+	if cfg.Processing != nil {
+		net.procMean = cfg.Processing.Mean()
+	}
+
+	for i := 0; i < n; i++ {
+		net.clocks[i] = cfg.Clocks.NewClock(root.DeriveIndexed("clock", i))
+		net.ctxs[i] = &Context{
+			net:  net,
+			id:   i,
+			r:    root.DeriveIndexed("node", i),
+			proc: root.DeriveIndexed("proc", i),
+		}
+		net.nodes[i] = makeNode(i)
+		if net.nodes[i] == nil {
+			return nil, fmt.Errorf("network: makeNode(%d) returned nil", i)
+		}
+	}
+
+	// Precompute in-port indices: inPort[to] position of edge from->to.
+	inPort := make(map[[2]int]int, cfg.Graph.EdgeCount())
+	for v := 0; v < n; v++ {
+		for idx, u := range cfg.Graph.In(v) {
+			inPort[[2]int{u, v}] = idx
+		}
+	}
+
+	edgeIndex := 0
+	for u := 0; u < n; u++ {
+		for _, v := range cfg.Graph.Out(u) {
+			addr := edgeAddress{from: u, to: v, inPort: inPort[[2]int{u, v}]}
+			link := cfg.Links(net.kernel, root.DeriveIndexed("edge", edgeIndex), net.deliverFunc(addr))
+			if link == nil {
+				return nil, fmt.Errorf("network: link factory returned nil for edge %d->%d", u, v)
+			}
+			net.links[u] = append(net.links[u], link)
+			net.allLinks = append(net.allLinks, link)
+			edgeIndex++
+		}
+	}
+	return net, nil
+}
+
+// deliverFunc returns the link callback delivering into the destination's
+// processing queue.
+func (net *Network) deliverFunc(addr edgeAddress) channel.DeliverFunc {
+	return func(payload any) {
+		net.metrics.MessagesDelivered++
+		if net.cfg.Tracer != nil {
+			net.cfg.Tracer.MessageDelivered(net.kernel.Now(), addr.from, addr.to, payload)
+		}
+		ctx := net.ctxs[addr.to]
+		net.process(addr.to, func() {
+			net.nodes[addr.to].OnMessage(ctx, addr.inPort, payload)
+		})
+	}
+}
+
+// process runs work for node v after the node's processing delay, modelling
+// each node as a single busy server: events queue and are handled in FIFO
+// completion order. With no processing model the work runs inline.
+func (net *Network) process(v int, work func()) {
+	if net.cfg.Processing == nil {
+		work()
+		return
+	}
+	now := net.kernel.Now()
+	start := now
+	if net.nextFree[v].After(start) {
+		start = net.nextFree[v]
+	}
+	completion := start.Add(simtime.Duration(net.cfg.Processing.Sample(net.ctxs[v].proc)))
+	net.nextFree[v] = completion
+	net.kernel.At(completion, work)
+}
+
+// Run initialises all nodes (in index order at time zero) and executes the
+// simulation. See sim.Kernel.Run for the meaning of horizon and maxEvents.
+// A protocol-requested stop (Context.StopNetwork) is a clean completion and
+// returns nil.
+func (net *Network) Run(horizon simtime.Time, maxEvents uint64) error {
+	for i, node := range net.nodes {
+		node.Init(net.ctxs[i])
+	}
+	err := net.kernel.Run(horizon, maxEvents)
+	if errors.Is(err, sim.ErrStopped) {
+		return nil
+	}
+	return err
+}
+
+// Now returns the current virtual time.
+func (net *Network) Now() simtime.Time { return net.kernel.Now() }
+
+// StopCause returns the cause recorded when the protocol stopped the
+// network, or "".
+func (net *Network) StopCause() string { return net.kernel.StopCause() }
+
+// Metrics returns a snapshot of the network counters, with transmissions
+// aggregated over all links.
+func (net *Network) Metrics() Metrics {
+	m := net.metrics
+	m.Transmissions = 0
+	for _, l := range net.allLinks {
+		m.Transmissions += l.Stats().Transmissions
+	}
+	return m
+}
+
+// N returns the number of nodes.
+func (net *Network) N() int { return len(net.nodes) }
+
+// NodeAt returns the protocol instance on node i, for post-run inspection.
+func (net *Network) NodeAt(i int) Node { return net.nodes[i] }
+
+// MaxLinkMeanDelay returns the maximum per-link expected delay — the
+// tightest δ for which this network satisfies ABE Definition 1, condition 1.
+func (net *Network) MaxLinkMeanDelay() float64 {
+	max := 0.0
+	for _, l := range net.allLinks {
+		if m := l.MeanDelay(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// ClockBounds returns the clock model's (s_low, s_high).
+func (net *Network) ClockBounds() (low, high float64) { return net.cfg.Clocks.Bounds() }
+
+// ProcessingMean returns the mean event-processing time — the tightest γ
+// for Definition 1, condition 3 (0 if processing is instantaneous).
+func (net *Network) ProcessingMean() float64 { return net.procMean }
+
+// Kernel exposes the underlying kernel for tests and advanced drivers.
+func (net *Network) Kernel() *sim.Kernel { return net.kernel }
+
+// Context is a node's window onto the network. All methods must be called
+// from protocol callbacks (Init, OnMessage, OnTimer) only.
+type Context struct {
+	net  *Network
+	id   int
+	r    *rng.Source
+	proc *rng.Source
+}
+
+// N returns the network size. The paper's election algorithm assumes known
+// ring size n, so this is part of a node's a-priori knowledge.
+func (c *Context) N() int { return c.net.N() }
+
+// ID returns the node's identity. On anonymous networks this panics:
+// protocols for anonymous networks must not depend on identities.
+func (c *Context) ID() int {
+	if c.net.cfg.Anonymous {
+		panic("network: protocol read node identity on an anonymous network")
+	}
+	return c.id
+}
+
+// OutDegree returns the number of outgoing ports.
+func (c *Context) OutDegree() int { return len(c.net.links[c.id]) }
+
+// InDegree returns the number of incoming ports.
+func (c *Context) InDegree() int { return len(c.net.cfg.Graph.In(c.id)) }
+
+// Send transmits payload on the given out-port.
+func (c *Context) Send(outPort int, payload any) {
+	links := c.net.links[c.id]
+	if outPort < 0 || outPort >= len(links) {
+		panic(fmt.Sprintf("network: node has %d out-ports, sent on %d", len(links), outPort))
+	}
+	c.net.metrics.MessagesSent++
+	if c.net.cfg.Tracer != nil {
+		to := c.net.cfg.Graph.Out(c.id)[outPort]
+		c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, to, payload)
+	}
+	links[outPort].Send(payload)
+}
+
+// LocalTime returns the node's local clock reading.
+func (c *Context) LocalTime() float64 { return c.net.clocks[c.id].LocalAt(c.net.kernel.Now()) }
+
+// SetLocalTimer schedules OnTimer(kind) to fire when the node's local clock
+// has advanced by localDelta (> 0). The returned ticket can cancel it.
+func (c *Context) SetLocalTimer(localDelta float64, kind int) *sim.Ticket {
+	if localDelta <= 0 {
+		panic(fmt.Sprintf("network: local timer delta %g must be positive", localDelta))
+	}
+	at := c.net.clocks[c.id].RealAfterLocal(c.net.kernel.Now(), localDelta)
+	return c.net.kernel.At(at, func() {
+		c.net.metrics.TimersFired++
+		if c.net.cfg.Tracer != nil {
+			c.net.cfg.Tracer.TimerFired(c.net.kernel.Now(), c.id, kind)
+		}
+		c.net.process(c.id, func() {
+			c.net.nodes[c.id].OnTimer(c, kind)
+		})
+	})
+}
+
+// Rand returns the node's private random stream.
+func (c *Context) Rand() *rng.Source { return c.r }
+
+// Now returns global simulation time. It exists for measurement and
+// tracing; protocols for asynchronous models must not branch on it (they
+// could not observe it in reality). Anonymous-network protocols in this
+// repository only use LocalTime.
+func (c *Context) Now() simtime.Time { return c.net.kernel.Now() }
+
+// StopNetwork halts the simulation after the current event, recording a
+// cause. Used by protocols upon termination (e.g. a leader was elected).
+func (c *Context) StopNetwork(cause string) { c.net.kernel.Stop(cause) }

@@ -1,0 +1,250 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// All network executions in this repository — ABE, ABD, fully asynchronous
+// and synchronous — run on this kernel. Events are closures scheduled at
+// virtual instants; the kernel executes them in time order with a
+// deterministic tie-break (insertion sequence), so a run is a pure function
+// of the initial schedule and the random seed. That determinism is what
+// makes the paper's expected-complexity claims measurable: every data point
+// is reproducible from (parameters, seed).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"abenet/internal/simtime"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before reaching its horizon or draining its schedule.
+var ErrStopped = errors.New("sim: stopped")
+
+// Handler is a scheduled piece of work. It runs at its scheduled virtual
+// instant and may schedule further events.
+type Handler func()
+
+// event is one entry in the pending-event set.
+type event struct {
+	at     simtime.Time
+	seq    uint64 // tie-break: events at equal instants run in schedule order
+	fn     Handler
+	index  int // heap index, maintained by eventQueue
+	dead   bool
+	ticket *Ticket
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("sim: eventQueue.Push received a non-event")
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Ticket identifies a scheduled event so it can be cancelled. The zero value
+// is not a valid ticket; tickets come from Kernel.At and Kernel.After.
+type Ticket struct {
+	ev *event
+}
+
+// Cancel removes the event from the schedule if it has not run yet. Cancel
+// is idempotent and reports whether the event was actually cancelled (false
+// if it already ran or was already cancelled).
+func (t *Ticket) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil // release captured state promptly
+	return true
+}
+
+// Pending reports whether the event is still scheduled.
+func (t *Ticket) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; create
+// one with New. Kernel is not safe for concurrent use: simulations are
+// single-threaded by design, and cross-run parallelism is achieved by
+// running independent Kernels on separate goroutines.
+type Kernel struct {
+	now       simtime.Time
+	queue     eventQueue
+	seq       uint64
+	executed  uint64
+	stopped   bool
+	running   bool
+	stopCause string
+}
+
+// New returns an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() simtime.Time { return k.now }
+
+// Executed returns the number of events that have run so far. It is a cheap
+// progress measure and a guard against runaway protocols in tests.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of scheduled (not yet executed, not cancelled)
+// events. Cancelled events still occupying the heap are not counted.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at instant at. Scheduling strictly in the past is a
+// programming error and panics; scheduling at the current instant is allowed
+// and runs after all previously scheduled events for that instant.
+func (k *Kernel) At(at simtime.Time, fn Handler) *Ticket {
+	if fn == nil {
+		panic("sim: At called with nil handler")
+	}
+	if !at.IsFinite() {
+		panic(fmt.Sprintf("sim: At called with non-finite time %v", at))
+	}
+	if at.Before(k.now) {
+		panic(fmt.Sprintf("sim: scheduling into the past: now %v, requested %v", k.now, at))
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	ticket := &Ticket{ev: ev}
+	ev.ticket = ticket
+	heap.Push(&k.queue, ev)
+	return ticket
+}
+
+// After schedules fn to run d time units from now. It panics if d is
+// negative or non-finite.
+func (k *Kernel) After(d simtime.Duration, fn Handler) *Ticket {
+	if !d.Valid() {
+		panic(fmt.Sprintf("sim: After called with invalid duration %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Stop halts the simulation after the currently executing event completes.
+// The cause is reported by StopCause. Calling Stop outside Run simply marks
+// the kernel so the next Run returns immediately.
+func (k *Kernel) Stop(cause string) {
+	k.stopped = true
+	k.stopCause = cause
+}
+
+// StopCause returns the cause passed to the most recent Stop, or "".
+func (k *Kernel) StopCause() string { return k.stopCause }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events in virtual-time order until one of:
+//   - the schedule drains (returns nil),
+//   - virtual time would exceed horizon (returns nil; the event at a time
+//     past the horizon remains scheduled and time stops at the horizon),
+//   - Stop is called (returns ErrStopped),
+//   - more than maxEvents events execute, if maxEvents > 0 (returns an
+//     error; this guards against non-terminating protocols in tests).
+func (k *Kernel) Run(horizon simtime.Time, maxEvents uint64) error {
+	if k.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	start := k.executed
+	for {
+		if k.stopped {
+			return ErrStopped
+		}
+		ev := k.next()
+		if ev == nil {
+			return nil // drained
+		}
+		if ev.at.After(horizon) {
+			// Leave the event scheduled; put it back and halt at horizon.
+			heap.Push(&k.queue, ev)
+			k.now = horizon
+			return nil
+		}
+		if maxEvents > 0 && k.executed-start >= maxEvents {
+			heap.Push(&k.queue, ev)
+			return fmt.Errorf("sim: exceeded %d events at %v (possible livelock)", maxEvents, k.now)
+		}
+		k.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.dead = true
+		k.executed++
+		fn()
+	}
+}
+
+// next pops the earliest live event, skipping cancelled ones.
+func (k *Kernel) next() *event {
+	for k.queue.Len() > 0 {
+		ev, ok := heap.Pop(&k.queue).(*event)
+		if !ok {
+			panic("sim: heap contained a non-event")
+		}
+		if ev.dead {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Step executes exactly one pending event (the earliest) and returns true,
+// or returns false if the schedule is empty. Useful for fine-grained tests
+// and the bounded model checker's scheduler.
+func (k *Kernel) Step() bool {
+	ev := k.next()
+	if ev == nil {
+		return false
+	}
+	k.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	ev.dead = true
+	k.executed++
+	fn()
+	return true
+}

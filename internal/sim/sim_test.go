@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"abenet/internal/rng"
+	"abenet/internal/simtime"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	k := New()
+	var order []simtime.Time
+	times := []simtime.Time{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		k.At(at, func() { order = append(order, at) })
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(order), len(times))
+	}
+	if k.Now() != 5 {
+		t.Fatalf("final time %v, want 5", k.Now())
+	}
+}
+
+func TestTieBreakIsScheduleOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(1, func() { order = append(order, i) })
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := New()
+	var hits []simtime.Time
+	k.At(1, func() {
+		hits = append(hits, k.Now())
+		k.After(2, func() { hits = append(hits, k.Now()) })
+	})
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v, want [1 3]", hits)
+	}
+}
+
+func TestSameInstantSchedulingRunsAfterCurrent(t *testing.T) {
+	k := New()
+	var order []string
+	k.At(1, func() {
+		order = append(order, "a")
+		k.After(0, func() { order = append(order, "c") })
+	})
+	k.At(1, func() { order = append(order, "b") })
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHorizonStopsTime(t *testing.T) {
+	k := New()
+	ran := false
+	k.At(10, func() { ran = true })
+	if err := k.Run(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("time = %v, want horizon 5", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	// A later Run can pick the event up.
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event did not run after extending horizon")
+	}
+}
+
+func TestStopInsideEvent(t *testing.T) {
+	k := New()
+	ran2 := false
+	k.At(1, func() { k.Stop("test cause") })
+	k.At(2, func() { ran2 = true })
+	err := k.Run(simtime.Forever, 0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran2 {
+		t.Fatal("event after Stop ran")
+	}
+	if k.StopCause() != "test cause" {
+		t.Fatalf("cause = %q", k.StopCause())
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	k := New()
+	var tick func()
+	tick = func() { k.After(1, tick) } // immortal self-rescheduling event
+	k.At(0, tick)
+	err := k.Run(simtime.Forever, 100)
+	if err == nil || errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want livelock guard error", err)
+	}
+	if k.Executed() != 100 {
+		t.Fatalf("executed = %d, want 100", k.Executed())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	ran := false
+	ticket := k.At(1, func() { ran = true })
+	if !ticket.Pending() {
+		t.Fatal("ticket should be pending")
+	}
+	if !ticket.Cancel() {
+		t.Fatal("first Cancel should succeed")
+	}
+	if ticket.Cancel() {
+		t.Fatal("second Cancel should be a no-op")
+	}
+	if ticket.Pending() {
+		t.Fatal("cancelled ticket still pending")
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelAfterRunIsNoop(t *testing.T) {
+	k := New()
+	ticket := k.At(1, func() {})
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ticket.Cancel() {
+		t.Fatal("Cancel after execution should return false")
+	}
+}
+
+func TestNilTicketCancelSafe(t *testing.T) {
+	var ticket *Ticket
+	if ticket.Cancel() {
+		t.Fatal("nil ticket Cancel should be false")
+	}
+	if ticket.Pending() {
+		t.Fatal("nil ticket should not be pending")
+	}
+}
+
+func TestPendingCountSkipsCancelled(t *testing.T) {
+	k := New()
+	t1 := k.At(1, func() {})
+	k.At(2, func() {})
+	t1.Cancel()
+	if got := k.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
+
+func TestPanicsOnPastScheduling(t *testing.T) {
+	k := New()
+	k.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		k.At(1, func() {})
+	})
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnNilHandler(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	New().At(1, nil)
+}
+
+func TestPanicsOnInvalidDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestStep(t *testing.T) {
+	k := New()
+	count := 0
+	k.At(1, func() { count++ })
+	k.At(2, func() { count++ })
+	if !k.Step() {
+		t.Fatal("Step should run the first event")
+	}
+	if count != 1 || k.Now() != 1 {
+		t.Fatalf("after one step: count=%d now=%v", count, k.Now())
+	}
+	if !k.Step() {
+		t.Fatal("Step should run the second event")
+	}
+	if k.Step() {
+		t.Fatal("Step on empty schedule should return false")
+	}
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestReentrantRunRejected(t *testing.T) {
+	k := New()
+	var innerErr error
+	k.At(1, func() {
+		innerErr = k.Run(simtime.Forever, 0)
+	})
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if innerErr == nil {
+		t.Fatal("reentrant Run should error")
+	}
+}
+
+func TestManyRandomEventsStayOrdered(t *testing.T) {
+	// Property: for arbitrary seeds, execution order is non-decreasing in
+	// time even with events scheduled from within events.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := New()
+		var last simtime.Time
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if k.Now() < last {
+				ok = false
+			}
+			last = k.Now()
+			if depth <= 0 {
+				return
+			}
+			n := r.Intn(3)
+			for i := 0; i < n; i++ {
+				d := simtime.Duration(r.Float64() * 10)
+				k.After(d, func() { spawn(depth - 1) })
+			}
+		}
+		for i := 0; i < 10; i++ {
+			at := simtime.Time(r.Float64() * 10)
+			k.At(at, func() { spawn(3) })
+		}
+		if err := k.Run(simtime.Forever, 100000); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []simtime.Time {
+		r := rng.New(seed)
+		k := New()
+		var log []simtime.Time
+		var tick func()
+		remaining := 200
+		tick = func() {
+			log = append(log, k.Now())
+			remaining--
+			if remaining > 0 {
+				k.After(simtime.Duration(r.ExpFloat64()), tick)
+			}
+		}
+		k.At(0, tick)
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(77), run(77)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New()
+		r := rng.New(uint64(i))
+		var tick func()
+		remaining := 1000
+		tick = func() {
+			remaining--
+			if remaining > 0 {
+				k.After(simtime.Duration(r.ExpFloat64()), tick)
+			}
+		}
+		k.At(0, tick)
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

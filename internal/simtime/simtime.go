@@ -1,0 +1,66 @@
+// Package simtime defines the virtual time base used throughout the
+// simulator.
+//
+// Simulated time is a float64 number of abstract "time units". The ABE model
+// is unit-agnostic: the paper's δ (expected message delay), γ (expected
+// processing time) and clock speeds are all expressed relative to one
+// another, so a dimensionless time base is the faithful representation.
+// Distinct types for instants (Time) and intervals (Duration) keep the two
+// from being mixed up, in the spirit of the standard library's time package.
+package simtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an instant in virtual time, measured in time units from the start
+// of the simulation.
+type Time float64
+
+// Duration is a span of virtual time in time units. Durations are always
+// non-negative in this simulator; scheduling into the past is a programming
+// error caught by the kernel.
+type Duration float64
+
+// Zero is the start of every simulation.
+const Zero Time = 0
+
+// Forever is an effectively infinite horizon, usable as a "run until the
+// protocol terminates" bound.
+const Forever Time = Time(math.MaxFloat64)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t. The result is negative if t
+// precedes u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// IsFinite reports whether t is a usable instant (not NaN or ±Inf, and below
+// the Forever horizon).
+func (t Time) IsFinite() bool {
+	f := float64(t)
+	return !math.IsNaN(f) && !math.IsInf(f, 0) && t < Forever
+}
+
+// String formats the instant with enough precision for traces.
+func (t Time) String() string { return fmt.Sprintf("t=%.6g", float64(t)) }
+
+// Seconds returns the duration as a raw float64 for arithmetic.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Valid reports whether d is a usable duration: finite and non-negative.
+func (d Duration) Valid() bool {
+	f := float64(d)
+	return !math.IsNaN(f) && !math.IsInf(f, 0) && f >= 0
+}
+
+// String formats the duration.
+func (d Duration) String() string { return fmt.Sprintf("%.6g units", float64(d)) }

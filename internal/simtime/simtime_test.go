@@ -1,0 +1,84 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := Time(1.5)
+	b := a.Add(2.5)
+	if b != Time(4.0) {
+		t.Fatalf("Add = %v", b)
+	}
+	if d := b.Sub(a); d != Duration(2.5) {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	if !Time(1).Before(Time(2)) {
+		t.Fatal("1 should be before 2")
+	}
+	if Time(2).Before(Time(1)) {
+		t.Fatal("2 should not be before 1")
+	}
+	if !Time(2).After(Time(1)) {
+		t.Fatal("2 should be after 1")
+	}
+	if Time(1).Before(Time(1)) || Time(1).After(Time(1)) {
+		t.Fatal("equal instants must be neither before nor after")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Zero.IsFinite() {
+		t.Fatal("Zero must be finite")
+	}
+	if Forever.IsFinite() {
+		t.Fatal("Forever must not be finite")
+	}
+	if Time(math.NaN()).IsFinite() {
+		t.Fatal("NaN must not be finite")
+	}
+	if Time(math.Inf(1)).IsFinite() {
+		t.Fatal("+Inf must not be finite")
+	}
+}
+
+func TestDurationValid(t *testing.T) {
+	if !Duration(0).Valid() {
+		t.Fatal("zero duration must be valid")
+	}
+	if !Duration(1.5).Valid() {
+		t.Fatal("positive duration must be valid")
+	}
+	if Duration(-1).Valid() {
+		t.Fatal("negative duration must be invalid")
+	}
+	if Duration(math.NaN()).Valid() {
+		t.Fatal("NaN duration must be invalid")
+	}
+}
+
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(base float64, delta float64) bool {
+		if math.IsNaN(base) || math.IsNaN(delta) ||
+			math.Abs(base) > 1e100 || math.Abs(delta) > 1e100 {
+			return true // only moderate finite inputs are in the domain
+		}
+		d := Duration(math.Abs(delta))
+		a := Time(base)
+		return a.Add(d).Sub(a) == d || math.Abs(float64(a.Add(d).Sub(a)-d)) <= 1e-9*math.Abs(float64(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Time(1.25).String() == "" || Duration(2).String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+
+	"abenet/internal/rng"
+)
+
+// Reservoir keeps a bounded uniform sample of a stream (Vitter's
+// algorithm R), enabling quantile estimates over arbitrarily long
+// experiment streams with fixed memory. ABE delays are unbounded, so tail
+// quantiles (p95/p99 election time) are part of what the experiments
+// report alongside means.
+type Reservoir struct {
+	values []float64
+	seen   uint64
+	cap    int
+	r      *rng.Source
+}
+
+// NewReservoir returns a reservoir keeping at most capacity values,
+// sampled uniformly from everything offered. It panics if capacity < 1 or
+// r is nil.
+func NewReservoir(capacity int, r *rng.Source) *Reservoir {
+	if capacity < 1 {
+		panic(fmt.Sprintf("stats: reservoir capacity %d must be positive", capacity))
+	}
+	if r == nil {
+		panic("stats: reservoir needs a random source")
+	}
+	return &Reservoir{values: make([]float64, 0, capacity), cap: capacity, r: r}
+}
+
+// Add offers one observation to the reservoir.
+func (s *Reservoir) Add(x float64) {
+	s.seen++
+	if len(s.values) < s.cap {
+		s.values = append(s.values, x)
+		return
+	}
+	// Replace a random element with probability cap/seen.
+	idx := s.r.Uint64n(s.seen)
+	if idx < uint64(s.cap) {
+		s.values[idx] = x
+	}
+}
+
+// Seen returns the number of observations offered.
+func (s *Reservoir) Seen() uint64 { return s.seen }
+
+// Len returns the number of retained observations.
+func (s *Reservoir) Len() int { return len(s.values) }
+
+// Quantile estimates the q-quantile from the retained sample.
+func (s *Reservoir) Quantile(q float64) (float64, error) {
+	return Quantile(s.values, q)
+}
+
+// Values returns a copy of the retained sample.
+func (s *Reservoir) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}

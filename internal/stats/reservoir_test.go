@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"abenet/internal/rng"
+)
+
+func TestReservoirKeepsAllWhenUnderCapacity(t *testing.T) {
+	s := NewReservoir(10, rng.New(1))
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i))
+	}
+	if s.Len() != 5 || s.Seen() != 5 {
+		t.Fatalf("len=%d seen=%d", s.Len(), s.Seen())
+	}
+	q, err := s.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 4 {
+		t.Fatalf("max = %v", q)
+	}
+}
+
+func TestReservoirBoundsMemory(t *testing.T) {
+	s := NewReservoir(100, rng.New(2))
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i))
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Seen() != 100000 {
+		t.Fatalf("seen = %d", s.Seen())
+	}
+}
+
+func TestReservoirIsUniformish(t *testing.T) {
+	// Feed 0..9999 and check the retained sample's mean is near 5000.
+	s := NewReservoir(500, rng.New(3))
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i))
+	}
+	sum := 0.0
+	for _, v := range s.Values() {
+		sum += v
+	}
+	mean := sum / float64(s.Len())
+	if math.Abs(mean-5000) > 500 {
+		t.Fatalf("reservoir mean %v far from 5000 — sampling biased", mean)
+	}
+}
+
+func TestReservoirQuantileOfExponentialStream(t *testing.T) {
+	r := rng.New(4)
+	s := NewReservoir(2000, rng.New(5))
+	for i := 0; i < 100000; i++ {
+		s.Add(r.ExpFloat64())
+	}
+	// Exponential(1): median = ln 2 ≈ 0.693, p95 = ln 20 ≈ 3.0.
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-math.Ln2) > 0.1 {
+		t.Fatalf("median %v, want about %v", med, math.Ln2)
+	}
+	p95, err := s.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p95-math.Log(20)) > 0.4 {
+		t.Fatalf("p95 %v, want about %v", p95, math.Log(20))
+	}
+}
+
+func TestReservoirValuesCopied(t *testing.T) {
+	s := NewReservoir(4, rng.New(6))
+	s.Add(1)
+	values := s.Values()
+	values[0] = 99
+	if s.Values()[0] == 99 {
+		t.Fatal("Values exposed internal slice")
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	mustPanic(t, func() { NewReservoir(0, rng.New(1)) })
+	mustPanic(t, func() { NewReservoir(4, nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

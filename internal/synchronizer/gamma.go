@@ -1,0 +1,403 @@
+package synchronizer
+
+import (
+	"fmt"
+
+	"abenet/internal/network"
+	"abenet/internal/syncnet"
+	"abenet/internal/topology"
+)
+
+// Message types of the γ-synchronizer. Within a cluster they mirror β
+// (tree convergecast/broadcast); between clusters they mirror α over one
+// designated "preferred" edge per adjacent cluster pair.
+type (
+	// gammaTreeSafe flows up a cluster tree: the sender's subtree is safe.
+	gammaTreeSafe struct{ Round int }
+	// gammaClusterDown flows down a cluster tree: the whole cluster is
+	// safe; endpoints of preferred edges announce it to neighbours.
+	gammaClusterDown struct{ Round int }
+	// gammaNeighborSafe crosses a preferred edge: the sending cluster is
+	// safe for the round.
+	gammaNeighborSafe struct{ Round int }
+	// gammaExtSafe relays a received neighbour-safety announcement up the
+	// cluster tree to the root.
+	gammaExtSafe struct{ Round int }
+	// gammaGo flows down a cluster tree: release the next round.
+	gammaGo struct{ Round int }
+)
+
+// gammaNode wraps a synchronous protocol with Awerbuch's γ-synchronizer:
+// the graph is partitioned into BFS clusters of bounded radius; safety is
+// detected per cluster with a β-style tree convergecast, exchanged between
+// adjacent clusters α-style over one preferred edge per pair, and the
+// round is released per cluster once the cluster and all its neighbour
+// clusters are safe.
+//
+// Per round the cost is: payload acks + O(cluster tree edges) + one
+// message each way per adjacent cluster pair (plus the tree relays of
+// those announcements) — between β's 2(n−1) (one cluster) and α's 3|E|
+// (every node its own cluster), tunable by the cluster radius.
+type gammaNode struct {
+	proto syncnet.Node
+
+	round     int
+	completed int
+
+	reversePort []int
+
+	// Cluster tree geometry.
+	parentPort int // -1 at the cluster root
+	childPorts []int
+	// preferredPorts are out-ports of preferred inter-cluster edges
+	// incident to this node.
+	preferredPorts []int
+	// adjacentClusters is set at the root: how many neighbour clusters
+	// must report safe each round.
+	adjacentClusters int
+	// clusterHasPreferred reports whether any node of this cluster is an
+	// endpoint of a preferred edge; if not, the cluster-safe broadcast is
+	// pointless and skipped (making single-cluster γ cost exactly β).
+	clusterHasPreferred bool
+
+	inbox        map[int][]syncnet.Message
+	sent         map[int]int
+	acked        map[int]int
+	childSafe    map[int]int
+	treeSafeSent map[int]bool
+	extSafe      map[int]int
+	pendingGo    map[int]bool
+
+	outbox    [][]any
+	payloads  uint64
+	maxRounds int
+}
+
+var _ network.Node = (*gammaNode)(nil)
+var _ roundReporter = (*gammaNode)(nil)
+
+// gammaGeometry is the per-node precomputed clustering data.
+type gammaGeometry struct {
+	parentPort          []int
+	childPorts          [][]int
+	preferredPorts      [][]int
+	adjacentClusters    []int
+	clusterHasPreferred []bool
+}
+
+// buildGammaGeometry partitions g into BFS clusters of the given radius
+// and derives per-node tree and preferred-edge ports.
+func buildGammaGeometry(g *topology.Graph, radius int) gammaGeometry {
+	n := g.N()
+	cluster := make([]int, n)
+	parent := make([]int, n)
+	for i := range cluster {
+		cluster[i] = -1
+		parent[i] = -1
+	}
+	clusters := 0
+	for start := 0; start < n; start++ {
+		if cluster[start] != -1 {
+			continue
+		}
+		id := clusters
+		clusters++
+		cluster[start] = id
+		depth := map[int]int{start: 0}
+		queue := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if depth[u] == radius {
+				continue
+			}
+			g.ForEachOut(u, func(v int) {
+				if cluster[v] == -1 {
+					cluster[v] = id
+					parent[v] = u
+					depth[v] = depth[u] + 1
+					queue = append(queue, v)
+				}
+			})
+		}
+	}
+
+	outPortOf := make([]map[int]int, n)
+	for u := 0; u < n; u++ {
+		out := g.Out(u)
+		outPortOf[u] = make(map[int]int, len(out))
+		for port, v := range out {
+			outPortOf[u][v] = port
+		}
+	}
+
+	geo := gammaGeometry{
+		parentPort:          make([]int, n),
+		childPorts:          make([][]int, n),
+		preferredPorts:      make([][]int, n),
+		adjacentClusters:    make([]int, n),
+		clusterHasPreferred: make([]bool, n),
+	}
+	for u := 0; u < n; u++ {
+		geo.parentPort[u] = -1
+		if parent[u] != -1 {
+			port, ok := outPortOf[u][parent[u]]
+			if !ok {
+				panic(fmt.Sprintf("synchronizer: gamma graph not bidirectional at %d->%d", u, parent[u]))
+			}
+			geo.parentPort[u] = port
+		}
+	}
+	for v := 0; v < n; v++ {
+		if parent[v] != -1 {
+			u := parent[v]
+			geo.childPorts[u] = append(geo.childPorts[u], outPortOf[u][v])
+		}
+	}
+
+	// One preferred (undirected) edge per adjacent cluster pair: the
+	// lexicographically smallest crossing edge.
+	type pair struct{ a, b int }
+	preferred := map[pair][2]int{}
+	for u := 0; u < n; u++ {
+		g.ForEachOut(u, func(v int) {
+			cu, cv := cluster[u], cluster[v]
+			if cu == cv {
+				return
+			}
+			p := pair{a: cu, b: cv}
+			if p.a > p.b {
+				p.a, p.b = p.b, p.a
+			}
+			lo, hi := u, v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if cur, ok := preferred[p]; !ok || lo < cur[0] || (lo == cur[0] && hi < cur[1]) {
+				preferred[p] = [2]int{lo, hi}
+			}
+		})
+	}
+	// Find each cluster's root (the node with no parent in its cluster).
+	rootOf := make([]int, clusters)
+	for u := 0; u < n; u++ {
+		if parent[u] == -1 {
+			rootOf[cluster[u]] = u
+		}
+	}
+	clusterPreferred := make([]bool, clusters)
+	for p, edge := range preferred {
+		u, v := edge[0], edge[1]
+		geo.preferredPorts[u] = append(geo.preferredPorts[u], outPortOf[u][v])
+		geo.preferredPorts[v] = append(geo.preferredPorts[v], outPortOf[v][u])
+		geo.adjacentClusters[rootOf[p.a]]++
+		geo.adjacentClusters[rootOf[p.b]]++
+		clusterPreferred[p.a] = true
+		clusterPreferred[p.b] = true
+	}
+	for u := 0; u < n; u++ {
+		geo.clusterHasPreferred[u] = clusterPreferred[cluster[u]]
+	}
+	return geo
+}
+
+// makeGammaWrap precomputes the clustering and returns the per-node
+// wrapper factory.
+func makeGammaWrap(g *topology.Graph, radius int) func(i int, proto syncnet.Node, _ *topology.Graph) (network.Node, roundReporter) {
+	if radius < 1 {
+		radius = 2
+	}
+	geo := buildGammaGeometry(g, radius)
+	return func(i int, proto syncnet.Node, _ *topology.Graph) (network.Node, roundReporter) {
+		if proto == nil {
+			panic(fmt.Sprintf("synchronizer: nil protocol for node %d", i))
+		}
+		out := g.Out(i)
+		outPortOf := make(map[int]int, len(out))
+		for port, v := range out {
+			outPortOf[v] = port
+		}
+		in := g.In(i)
+		reverse := make([]int, len(in))
+		for p, u := range in {
+			port, ok := outPortOf[u]
+			if !ok {
+				panic(fmt.Sprintf("synchronizer: gamma graph not bidirectional at %d<-%d", i, u))
+			}
+			reverse[p] = port
+		}
+		n := &gammaNode{
+			proto:               proto,
+			reversePort:         reverse,
+			parentPort:          geo.parentPort[i],
+			childPorts:          geo.childPorts[i],
+			preferredPorts:      geo.preferredPorts[i],
+			adjacentClusters:    geo.adjacentClusters[i],
+			clusterHasPreferred: geo.clusterHasPreferred[i],
+			inbox:               make(map[int][]syncnet.Message),
+			sent:                make(map[int]int),
+			acked:               make(map[int]int),
+			childSafe:           make(map[int]int),
+			treeSafeSent:        make(map[int]bool),
+			extSafe:             make(map[int]int),
+			pendingGo:           make(map[int]bool),
+			outbox:              make([][]any, len(out)),
+		}
+		return n, n
+	}
+}
+
+func (n *gammaNode) completedRounds() int { return n.completed }
+func (n *gammaNode) payloadCount() uint64 { return n.payloads }
+func (n *gammaNode) setMaxRounds(r int)   { n.maxRounds = r }
+
+// Init implements network.Node.
+func (n *gammaNode) Init(ctx *network.Context) {
+	if n.executeRound(ctx) {
+		n.tryTreeSafe(ctx, 0)
+	}
+}
+
+// OnTimer implements network.Node; γ is message-driven.
+func (n *gammaNode) OnTimer(*network.Context, int) {}
+
+// OnMessage implements network.Node.
+func (n *gammaNode) OnMessage(ctx *network.Context, inPort int, payload any) {
+	switch m := payload.(type) {
+	case envelope:
+		for _, p := range m.Payloads {
+			n.inbox[m.Round+1] = append(n.inbox[m.Round+1], syncnet.Message{InPort: inPort, Payload: p})
+		}
+		ctx.Send(n.reversePort[inPort], alphaAck{Round: m.Round})
+	case alphaAck:
+		n.acked[m.Round]++
+		n.tryTreeSafe(ctx, m.Round)
+	case gammaTreeSafe:
+		n.childSafe[m.Round]++
+		n.tryTreeSafe(ctx, m.Round)
+	case gammaClusterDown:
+		n.onClusterSafe(ctx, m.Round)
+	case gammaNeighborSafe:
+		// A neighbouring cluster is safe; deliver the fact to our root.
+		if n.parentPort < 0 {
+			n.extSafe[m.Round]++
+			n.tryGo(ctx, m.Round)
+		} else {
+			ctx.Send(n.parentPort, gammaExtSafe{Round: m.Round})
+		}
+	case gammaExtSafe:
+		if n.parentPort < 0 {
+			n.extSafe[m.Round]++
+			n.tryGo(ctx, m.Round)
+		} else {
+			ctx.Send(n.parentPort, gammaExtSafe{Round: m.Round})
+		}
+	case gammaGo:
+		n.pendingGo[m.Round] = true
+		for n.pendingGo[n.round-1] {
+			r := n.round - 1
+			delete(n.pendingGo, r)
+			for _, port := range n.childPorts {
+				ctx.Send(port, gammaGo{Round: r})
+			}
+			if !n.executeRound(ctx) {
+				return
+			}
+			n.tryTreeSafe(ctx, n.round-1)
+		}
+	default:
+		panic(fmt.Sprintf("synchronizer: foreign payload %T", payload))
+	}
+}
+
+// tryTreeSafe reports subtree safety up the cluster tree once complete;
+// at the root it marks the whole cluster safe.
+func (n *gammaNode) tryTreeSafe(ctx *network.Context, r int) {
+	if n.treeSafeSent[r] || r != n.round-1 {
+		return
+	}
+	if n.acked[r] != n.sent[r] || n.childSafe[r] != len(n.childPorts) {
+		return
+	}
+	n.treeSafeSent[r] = true
+	delete(n.acked, r)
+	delete(n.sent, r)
+	delete(n.childSafe, r)
+	if n.parentPort >= 0 {
+		ctx.Send(n.parentPort, gammaTreeSafe{Round: r})
+		return
+	}
+	// Root: the cluster is safe.
+	n.onClusterSafe(ctx, r)
+	n.tryGo(ctx, r)
+}
+
+// onClusterSafe propagates cluster safety down the tree and announces it
+// over this node's preferred edges. Clusters without preferred edges
+// (single-cluster partitions) skip the broadcast entirely — γ then costs
+// exactly β.
+func (n *gammaNode) onClusterSafe(ctx *network.Context, r int) {
+	if !n.clusterHasPreferred {
+		return
+	}
+	for _, port := range n.childPorts {
+		ctx.Send(port, gammaClusterDown{Round: r})
+	}
+	for _, port := range n.preferredPorts {
+		ctx.Send(port, gammaNeighborSafe{Round: r})
+	}
+}
+
+// tryGo releases round r+1 cluster-wide once the cluster and all adjacent
+// clusters are safe for r. Only the cluster root calls this.
+func (n *gammaNode) tryGo(ctx *network.Context, r int) {
+	if r != n.round-1 || !n.treeSafeSent[r] {
+		return
+	}
+	if n.extSafe[r] != n.adjacentClusters {
+		return
+	}
+	delete(n.extSafe, r)
+	delete(n.treeSafeSent, r)
+	for _, port := range n.childPorts {
+		ctx.Send(port, gammaGo{Round: r})
+	}
+	if n.executeRound(ctx) {
+		n.tryTreeSafe(ctx, n.round-1)
+	}
+}
+
+// executeRound runs the protocol round; like β, only envelopes that carry
+// payloads are sent.
+func (n *gammaNode) executeRound(ctx *network.Context) bool {
+	if n.maxRounds > 0 && n.round >= n.maxRounds {
+		ctx.StopNetwork(budgetStopCause)
+		return false
+	}
+	inbox := n.inbox[n.round]
+	delete(n.inbox, n.round)
+	sortInbox(inbox)
+
+	pctx := &protoContext{net: ctx, sendFunc: func(outPort int, payload any) {
+		if outPort < 0 || outPort >= len(n.outbox) {
+			panic(fmt.Sprintf("synchronizer: send on out-port %d of %d", outPort, len(n.outbox)))
+		}
+		n.outbox[outPort] = append(n.outbox[outPort], payload)
+		n.payloads++
+	}}
+	n.proto.Round(pctx, n.round, inbox)
+
+	count := 0
+	for port := range n.outbox {
+		if len(n.outbox[port]) == 0 {
+			continue
+		}
+		ctx.Send(port, envelope{Round: n.round, Payloads: n.outbox[port]})
+		n.outbox[port] = nil
+		count++
+	}
+	n.sent[n.round] = count
+	n.round++
+	n.completed++
+	return true
+}

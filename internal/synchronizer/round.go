@@ -1,0 +1,135 @@
+package synchronizer
+
+import (
+	"fmt"
+	"sort"
+
+	"abenet/internal/network"
+	"abenet/internal/syncnet"
+	"abenet/internal/topology"
+)
+
+// envelope is the round synchronizer's only message: everything node u has
+// for node v in round Round, possibly nothing.
+type envelope struct {
+	Round    int
+	Payloads []any
+}
+
+// roundNode wraps a synchronous protocol with the minimal round-message
+// synchronizer: one envelope per out-edge per round; advance to round r+1
+// after receiving the round-r envelope from every in-neighbour.
+//
+// This costs exactly |E| messages per round — for strongly connected
+// graphs |E| >= n, matching Awerbuch's (and the paper's Theorem 1) lower
+// bound, so this synchronizer is message-optimal.
+type roundNode struct {
+	proto syncnet.Node
+
+	round     int // round currently being assembled (protocol executed rounds < round)
+	completed int // rounds fully executed
+	inDegree  int
+
+	// received[r] counts round-r envelopes; early envelopes buffer here.
+	received map[int]int
+	inbox    map[int][]syncnet.Message
+
+	// outbox accumulates the protocol's sends during a round execution,
+	// keyed by out-port.
+	outbox [][]any
+
+	payloads  uint64
+	maxRounds int
+}
+
+var _ network.Node = (*roundNode)(nil)
+var _ roundReporter = (*roundNode)(nil)
+
+// newRoundNode wraps proto for node i of graph g.
+func newRoundNode(i int, proto syncnet.Node, g *topology.Graph) (network.Node, roundReporter) {
+	if proto == nil {
+		panic(fmt.Sprintf("synchronizer: nil protocol for node %d", i))
+	}
+	n := &roundNode{
+		proto:    proto,
+		inDegree: len(g.In(i)),
+		received: make(map[int]int),
+		inbox:    make(map[int][]syncnet.Message),
+		outbox:   make([][]any, g.OutDegree(i)),
+	}
+	return n, n
+}
+
+func (n *roundNode) completedRounds() int { return n.completed }
+func (n *roundNode) payloadCount() uint64 { return n.payloads }
+func (n *roundNode) setMaxRounds(r int)   { n.maxRounds = r }
+
+// Init implements network.Node: execute round 0 (which has an empty inbox
+// by definition) and flush its envelopes.
+func (n *roundNode) Init(ctx *network.Context) {
+	n.executeRound(ctx)
+}
+
+// OnTimer implements network.Node; the round synchronizer is message-driven.
+func (n *roundNode) OnTimer(*network.Context, int) {}
+
+// OnMessage implements network.Node.
+func (n *roundNode) OnMessage(ctx *network.Context, inPort int, payload any) {
+	env, ok := payload.(envelope)
+	if !ok {
+		panic(fmt.Sprintf("synchronizer: foreign payload %T", payload))
+	}
+	if env.Round < n.round-1 {
+		// An envelope for a round we already finished assembling would
+		// mean the synchronizer's invariant broke.
+		panic(fmt.Sprintf("synchronizer: stale envelope for round %d at round %d", env.Round, n.round))
+	}
+	for _, p := range env.Payloads {
+		n.inbox[env.Round+1] = append(n.inbox[env.Round+1], syncnet.Message{InPort: inPort, Payload: p})
+	}
+	n.received[env.Round]++
+	// Drain as many rounds as are fully assembled. (Neighbours can be at
+	// most one round ahead, but their envelopes may arrive reordered.)
+	for n.received[n.round-1] == n.inDegree {
+		delete(n.received, n.round-1)
+		if !n.executeRound(ctx) {
+			return
+		}
+	}
+}
+
+// executeRound runs the protocol for n.round and flushes one envelope per
+// out-port. It reports whether the round actually ran (false once the
+// round budget is exhausted).
+func (n *roundNode) executeRound(ctx *network.Context) bool {
+	if n.maxRounds > 0 && n.round >= n.maxRounds {
+		ctx.StopNetwork(budgetStopCause)
+		return false
+	}
+	inbox := n.inbox[n.round]
+	delete(n.inbox, n.round)
+	sortInbox(inbox)
+
+	pctx := &protoContext{net: ctx, sendFunc: func(outPort int, payload any) {
+		if outPort < 0 || outPort >= len(n.outbox) {
+			panic(fmt.Sprintf("synchronizer: send on out-port %d of %d", outPort, len(n.outbox)))
+		}
+		n.outbox[outPort] = append(n.outbox[outPort], payload)
+		n.payloads++
+	}}
+	n.proto.Round(pctx, n.round, inbox)
+
+	for port := range n.outbox {
+		ctx.Send(port, envelope{Round: n.round, Payloads: n.outbox[port]})
+		n.outbox[port] = nil
+	}
+	n.round++
+	n.completed++
+	return true
+}
+
+// sortInbox gives the protocol a deterministic inbox order (by in-port,
+// stable in arrival order) regardless of network arrival interleaving.
+func sortInbox(inbox []syncnet.Message) {
+	sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].InPort < inbox[j].InPort })
+}

@@ -1,0 +1,68 @@
+package syncnet
+
+import "fmt"
+
+// bfsAnnounce is the BFS protocol's only message: the sender's distance
+// from the root.
+type bfsAnnounce struct {
+	Dist int
+}
+
+// BFSNode is synchronous breadth-first spanning-tree construction: the
+// root announces distance 0 in round 0; every node adopts the first
+// announced distance + 1 it hears and re-announces once. In a synchronous
+// network this computes exact BFS distances in diameter+1 rounds with one
+// message per edge overall in each direction.
+//
+// It is deliberately simple: the experiments use it (and its exactness) to
+// show the synchronizers preserve synchronous semantics for protocols
+// other than elections, and to measure what a latency-sensitive protocol
+// pays under each synchronizer.
+type BFSNode struct {
+	root bool
+
+	// Dist is the computed distance from the root; -1 until known.
+	Dist int
+	// DecidedRound is the round in which Dist was fixed; -1 until known.
+	DecidedRound int
+}
+
+var _ Node = (*BFSNode)(nil)
+
+// NewBFSNode returns a protocol instance; exactly one node must be the
+// root.
+func NewBFSNode(root bool) *BFSNode {
+	return &BFSNode{root: root, Dist: -1, DecidedRound: -1}
+}
+
+// Round implements Node.
+func (p *BFSNode) Round(ctx NodeContext, round int, inbox []Message) {
+	if round == 0 && p.root {
+		p.Dist = 0
+		p.DecidedRound = 0
+		p.announce(ctx)
+		return
+	}
+	if p.Dist >= 0 {
+		return // already decided; BFS announcements are one-shot
+	}
+	for _, m := range inbox {
+		a, ok := m.Payload.(bfsAnnounce)
+		if !ok {
+			panic(fmt.Sprintf("syncnet: foreign payload %T in BFS", m.Payload))
+		}
+		if p.Dist == -1 || a.Dist+1 < p.Dist {
+			p.Dist = a.Dist + 1
+		}
+	}
+	if p.Dist >= 0 {
+		p.DecidedRound = round
+		p.announce(ctx)
+	}
+}
+
+func (p *BFSNode) announce(ctx NodeContext) {
+	for port := 0; port < ctx.OutDegree(); port++ {
+		ctx.Send(port, bfsAnnounce{Dist: p.Dist})
+	}
+}

@@ -1,0 +1,83 @@
+package syncnet
+
+import (
+	"testing"
+
+	"abenet/internal/rng"
+	"abenet/internal/topology"
+)
+
+// runBFS executes the BFS protocol natively and returns per-node
+// distances.
+func runBFS(t *testing.T, g *topology.Graph, root int, maxRounds int) []int {
+	t.Helper()
+	nodes := make([]*BFSNode, g.N())
+	r, err := New(Config{Graph: g, Seed: 1}, func(i int) Node {
+		nodes[i] = NewBFSNode(i == root)
+		return nodes[i]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxRounds && r.Step(); i++ {
+	}
+	dists := make([]int, g.N())
+	for i, node := range nodes {
+		dists[i] = node.Dist
+	}
+	return dists
+}
+
+func TestBFSComputesExactDistances(t *testing.T) {
+	graphs := map[string]*topology.Graph{
+		"line":      topology.Line(7),
+		"biring":    topology.BiRing(9),
+		"star":      topology.Star(6),
+		"complete":  topology.Complete(5),
+		"hypercube": topology.Hypercube(4),
+		"torus":     topology.Torus(3, 4),
+	}
+	for name, g := range graphs {
+		got := runBFS(t, g, 0, g.N()+2)
+		_, want := g.BFSTree(0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Errorf("%s: node %d distance %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSOnRandomGraphs(t *testing.T) {
+	root := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + root.Intn(20)
+		g := topology.RandomConnected(n, 0.15, root.Derive("g"))
+		got := runBFS(t, g, 0, n+2)
+		_, want := g.BFSTree(0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: node %d distance %d, want %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSDecidesInDistanceRounds(t *testing.T) {
+	g := topology.Line(6)
+	nodes := make([]*BFSNode, g.N())
+	r, err := New(Config{Graph: g, Seed: 1}, func(i int) Node {
+		nodes[i] = NewBFSNode(i == 0)
+		return nodes[i]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && r.Step(); i++ {
+	}
+	for v, node := range nodes {
+		if node.DecidedRound != v {
+			t.Fatalf("node %d decided in round %d, want %d", v, node.DecidedRound, v)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package syncnet
+
+import (
+	"testing"
+
+	"abenet/internal/topology"
+)
+
+// hopper forwards a counter once per round until it reaches a limit.
+type hopper struct {
+	start bool
+	got   []int
+}
+
+func (h *hopper) Round(ctx NodeContext, round int, inbox []Message) {
+	if round == 0 && h.start {
+		ctx.Send(0, 1)
+		return
+	}
+	for _, m := range inbox {
+		v, ok := m.Payload.(int)
+		if !ok {
+			panic("bad payload")
+		}
+		h.got = append(h.got, v)
+		if v >= 10 {
+			ctx.StopNetwork("limit reached")
+			return
+		}
+		ctx.Send(0, v+1)
+	}
+}
+
+func TestTokenAdvancesOneHopPerRound(t *testing.T) {
+	r, err := New(Config{Graph: topology.Ring(4), Seed: 1}, func(i int) Node {
+		return &hopper{start: i == 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := r.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token values 1..10 take 10 deliveries; one round each plus the
+	// initial send round.
+	if rounds != 11 {
+		t.Fatalf("rounds = %d, want 11", rounds)
+	}
+	if r.Messages() != 10 {
+		t.Fatalf("messages = %d, want 10", r.Messages())
+	}
+	if r.StopCause() != "limit reached" {
+		t.Fatalf("cause = %q", r.StopCause())
+	}
+	// Node 1 receives the token at rounds 1, 5, 9 with values 1, 5, 9.
+	node, ok := r.NodeAt(1).(*hopper)
+	if !ok {
+		t.Fatal("unexpected node type")
+	}
+	want := []int{1, 5, 9}
+	if len(node.got) != len(want) {
+		t.Fatalf("node 1 saw %v, want %v", node.got, want)
+	}
+	for i := range want {
+		if node.got[i] != want[i] {
+			t.Fatalf("node 1 saw %v, want %v", node.got, want)
+		}
+	}
+}
+
+func TestRunBudgetErrors(t *testing.T) {
+	r, err := New(Config{Graph: topology.Ring(3), Seed: 1}, func(i int) Node {
+		return &hopper{start: i == 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(3); err == nil {
+		t.Fatal("expected round-budget error")
+	}
+	if _, err := r.Run(0); err == nil {
+		t.Fatal("maxRounds=0 accepted")
+	}
+}
+
+type syncIDReader struct{ saw int }
+
+func (s *syncIDReader) Round(ctx NodeContext, round int, _ []Message) {
+	s.saw = ctx.ID()
+	ctx.StopNetwork("done")
+}
+
+func TestSyncAnonymityEnforced(t *testing.T) {
+	r, err := New(Config{Graph: topology.Ring(2), Seed: 1, Anonymous: true}, func(int) Node {
+		return &syncIDReader{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("anonymous ID read did not panic")
+		}
+	}()
+	r.Step()
+}
+
+func TestSyncConfigValidation(t *testing.T) {
+	if _, err := New(Config{}, func(int) Node { return &hopper{} }); err == nil {
+		t.Fatal("missing graph accepted")
+	}
+	if _, err := New(Config{Graph: topology.Ring(2)}, nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+	if _, err := New(Config{Graph: topology.Ring(2)}, func(int) Node { return nil }); err == nil {
+		t.Fatal("nil node accepted")
+	}
+}
+
+func TestRandStreamsIndependent(t *testing.T) {
+	var draws [2]uint64
+	r, err := New(Config{Graph: topology.Ring(2), Seed: 5}, func(i int) Node {
+		return &funcSyncNode{fn: func(ctx NodeContext, round int, _ []Message) {
+			draws[i] = ctx.Rand().Uint64()
+			ctx.StopNetwork("done")
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Step()
+	if draws[0] == draws[1] {
+		t.Fatal("two nodes drew identical random values")
+	}
+}
+
+type funcSyncNode struct {
+	fn func(NodeContext, int, []Message)
+}
+
+func (f *funcSyncNode) Round(ctx NodeContext, round int, inbox []Message) {
+	f.fn(ctx, round, inbox)
+}
+
+func TestStepAfterStopIsNoop(t *testing.T) {
+	r, err := New(Config{Graph: topology.Ring(2), Seed: 1}, func(int) Node {
+		return &funcSyncNode{fn: func(ctx NodeContext, _ int, _ []Message) {
+			ctx.StopNetwork("immediately")
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Step() {
+		t.Fatal("Step should report stopped after the first round")
+	}
+	if r.Step() {
+		t.Fatal("Step after stop should be a no-op")
+	}
+	if r.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", r.Rounds())
+	}
+}
+
+func TestSendOnBadPortPanics(t *testing.T) {
+	r, err := New(Config{Graph: topology.Ring(2), Seed: 1}, func(int) Node {
+		return &funcSyncNode{fn: func(ctx NodeContext, _ int, _ []Message) {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad port did not panic")
+				}
+			}()
+			ctx.Send(3, "x")
+			ctx.StopNetwork("done")
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Step()
+}
+
+func TestInPortNumbering(t *testing.T) {
+	// On a bidirectional ring of 3, every node has 2 in-ports; messages
+	// from distinct neighbours must arrive on distinct ports.
+	ports := make(map[int]map[int]bool)
+	r, err := New(Config{Graph: topology.BiRing(3), Seed: 2}, func(i int) Node {
+		ports[i] = make(map[int]bool)
+		return &funcSyncNode{fn: func(ctx NodeContext, round int, inbox []Message) {
+			if round == 0 {
+				for p := 0; p < ctx.OutDegree(); p++ {
+					ctx.Send(p, "hi")
+				}
+				return
+			}
+			for _, m := range inbox {
+				ports[i][m.InPort] = true
+			}
+			ctx.StopNetwork("done")
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Step()
+	r.Step()
+	for i := 0; i < 3; i++ {
+		if len(ports[i]) != 2 {
+			t.Fatalf("node %d saw ports %v, want 2 distinct", i, ports[i])
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package topology builds the directed communication graphs that networks
+// run on.
+//
+// The paper's election algorithm needs anonymous unidirectional rings; the
+// synchroniser experiments need trees, complete graphs and arbitrary
+// connected graphs. Nodes are identified by dense indices 0..n-1 — these are
+// simulator-level identities only and are never visible to protocols that
+// declare themselves anonymous (the network layer enforces that anonymity).
+package topology
+
+import (
+	"fmt"
+
+	"abenet/internal/rng"
+)
+
+// Edge is one directed communication link.
+type Edge struct {
+	From, To int
+}
+
+// Graph is a directed graph over nodes 0..n-1. The zero value is an empty
+// graph with no nodes; use New.
+type Graph struct {
+	n   int
+	out [][]int
+	in  [][]int
+}
+
+// New returns a graph with n nodes and no edges. It panics if n < 1.
+func New(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: graph needs at least one node, got %d", n))
+	}
+	return &Graph{
+		n:   n,
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds the directed edge u->v. Self-loops and duplicate edges are
+// rejected with a panic: neither occurs in any topology the experiments use,
+// and both usually indicate a construction bug.
+func (g *Graph) AddEdge(u, v int) {
+	g.checkNode(u)
+	g.checkNode(v)
+	if u == v {
+		panic(fmt.Sprintf("topology: self-loop at node %d", u))
+	}
+	for _, w := range g.out[u] {
+		if w == v {
+			panic(fmt.Sprintf("topology: duplicate edge %d->%d", u, v))
+		}
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+}
+
+// AddBiEdge adds both u->v and v->u.
+func (g *Graph) AddBiEdge(u, v int) {
+	g.AddEdge(u, v)
+	g.AddEdge(v, u)
+}
+
+// HasEdge reports whether the directed edge u->v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.checkNode(u)
+	g.checkNode(v)
+	for _, w := range g.out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns a copy of u's out-neighbours, in insertion order.
+func (g *Graph) Out(u int) []int {
+	g.checkNode(u)
+	out := make([]int, len(g.out[u]))
+	copy(out, g.out[u])
+	return out
+}
+
+// In returns a copy of u's in-neighbours, in insertion order.
+func (g *Graph) In(u int) []int {
+	g.checkNode(u)
+	in := make([]int, len(g.in[u]))
+	copy(in, g.in[u])
+	return in
+}
+
+// OutDegree returns the number of out-neighbours of u.
+func (g *Graph) OutDegree(u int) int {
+	g.checkNode(u)
+	return len(g.out[u])
+}
+
+// ForEachOut calls fn for each out-neighbour of u without allocating.
+func (g *Graph) ForEachOut(u int, fn func(v int)) {
+	g.checkNode(u)
+	for _, v := range g.out[u] {
+		fn(v)
+	}
+}
+
+// Edges returns all directed edges, ordered by (From, insertion order).
+func (g *Graph) Edges() []Edge {
+	var edges []Edge
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			edges = append(edges, Edge{From: u, To: v})
+		}
+	}
+	return edges
+}
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += len(g.out[u])
+	}
+	return total
+}
+
+func (g *Graph) checkNode(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("topology: node %d outside [0, %d)", u, g.n))
+	}
+}
+
+// Ring returns the anonymous unidirectional ring used by the paper's
+// election algorithm: node i sends only to (i+1) mod n. It panics for n < 2
+// (a ring needs at least two nodes to have an edge that is not a self-loop).
+func Ring(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: unidirectional ring needs n >= 2, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// BiRing returns the bidirectional ring on n >= 2 nodes.
+func BiRing(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: bidirectional ring needs n >= 2, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddBiEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Line returns the bidirectional path 0-1-...-(n-1).
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddBiEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns the bidirectional star with centre 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddBiEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete bidirectional graph on n nodes.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddBiEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols bidirectional torus grid. Both dimensions
+// must be at least 3 so that wrap-around edges do not duplicate grid edges.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("topology: torus needs both dimensions >= 3, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddBiEdge(id(r, c), id(r, (c+1)%cols))
+			g.AddBiEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the bidirectional hypercube of the given dimension
+// (2^dim nodes). Dimension 0 is a single node with no edges.
+func Hypercube(dim int) *Graph {
+	if dim < 0 || dim > 20 {
+		panic(fmt.Sprintf("topology: hypercube dimension %d outside [0, 20]", dim))
+	}
+	n := 1 << uint(dim)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.AddBiEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a random connected bidirectional graph: a uniform
+// random spanning tree skeleton (random attachment) plus each remaining pair
+// connected with probability extraEdgeProb. Randomness comes from r only.
+func RandomConnected(n int, extraEdgeProb float64, r *rng.Source) *Graph {
+	if r == nil {
+		panic("topology: RandomConnected needs a random source")
+	}
+	if extraEdgeProb < 0 || extraEdgeProb > 1 {
+		panic(fmt.Sprintf("topology: extra edge probability %g outside [0,1]", extraEdgeProb))
+	}
+	g := New(n)
+	// Random attachment tree guarantees connectivity.
+	order := r.Perm(n)
+	for i := 1; i < n; i++ {
+		u := order[i]
+		v := order[r.Intn(i)]
+		g.AddBiEdge(u, v)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && r.Bool(extraEdgeProb) {
+				g.AddBiEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// BFSTree computes a breadth-first spanning tree of the graph from root,
+// following directed edges. It returns parent (parent[root] = -1, parent[v]
+// = -1 also for unreachable v) and depth (depth[v] = -1 for unreachable v).
+func (g *Graph) BFSTree(root int) (parent, depth []int) {
+	g.checkNode(root)
+	parent = make([]int, g.n)
+	depth = make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+		depth[i] = -1
+	}
+	depth[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent, depth
+}
+
+// IsStronglyConnected reports whether every node can reach every other node
+// following directed edges.
+func (g *Graph) IsStronglyConnected() bool {
+	if !g.allReachableFrom(0, g.out) {
+		return false
+	}
+	return g.allReachableFrom(0, g.in)
+}
+
+func (g *Graph) allReachableFrom(root int, adj [][]int) bool {
+	seen := make([]bool, g.n)
+	seen[root] = true
+	stack := []int{root}
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Diameter returns the longest shortest-path length over all ordered node
+// pairs, following directed edges. It returns -1 if the graph is not
+// strongly connected.
+func (g *Graph) Diameter() int {
+	max := 0
+	for root := 0; root < g.n; root++ {
+		_, depth := g.BFSTree(root)
+		for _, d := range depth {
+			if d == -1 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants (consistent in/out adjacency). It
+// returns an error describing the first violation, or nil. All constructors
+// in this package maintain these invariants; Validate exists for graphs
+// assembled by hand.
+func (g *Graph) Validate() error {
+	if g.n < 1 {
+		return fmt.Errorf("topology: graph has %d nodes", g.n)
+	}
+	counted := 0
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			if v < 0 || v >= g.n {
+				return fmt.Errorf("topology: edge %d->%d leaves node range", u, v)
+			}
+			found := false
+			for _, w := range g.in[v] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("topology: edge %d->%d missing from in-adjacency", u, v)
+			}
+			counted++
+		}
+	}
+	inCount := 0
+	for v := 0; v < g.n; v++ {
+		inCount += len(g.in[v])
+	}
+	if counted != inCount {
+		return fmt.Errorf("topology: %d out-edges vs %d in-edges", counted, inCount)
+	}
+	return nil
+}

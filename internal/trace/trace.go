@@ -1,0 +1,173 @@
+// Package trace records network events for debugging, examples and the
+// CLI's --trace mode.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"abenet/internal/simtime"
+)
+
+// EventKind classifies a recorded event.
+type EventKind int
+
+// The recordable event kinds.
+const (
+	KindSend EventKind = iota + 1
+	KindDeliver
+	KindTimer
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindTimer:
+		return "timer"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded network event.
+type Event struct {
+	At      simtime.Time
+	Kind    EventKind
+	From    int // sender (send/deliver) or the node (timer)
+	To      int // receiver (send/deliver) or the timer kind (timer)
+	Payload any
+}
+
+// String renders an event as one trace line.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindTimer:
+		return fmt.Sprintf("%10.4f  timer    node %-3d kind %d", float64(e.At), e.From, e.To)
+	default:
+		return fmt.Sprintf("%10.4f  %-8s %3d -> %-3d %v", float64(e.At), e.Kind, e.From, e.To, e.Payload)
+	}
+}
+
+// Recorder implements network.Tracer, collecting events up to a cap.
+// It is safe for concurrent use so live (goroutine) engines can share it.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewRecorder returns a recorder keeping at most capacity events
+// (0 means 100000).
+func NewRecorder(capacity int) *Recorder {
+	if capacity == 0 {
+		capacity = 100_000
+	}
+	return &Recorder{cap: capacity}
+}
+
+// MessageSent implements network.Tracer.
+func (r *Recorder) MessageSent(at simtime.Time, from, to int, payload any) {
+	r.add(Event{At: at, Kind: KindSend, From: from, To: to, Payload: payload})
+}
+
+// MessageDelivered implements network.Tracer.
+func (r *Recorder) MessageDelivered(at simtime.Time, from, to int, payload any) {
+	r.add(Event{At: at, Kind: KindDeliver, From: from, To: to, Payload: payload})
+}
+
+// TimerFired implements network.Tracer.
+func (r *Recorder) TimerFired(at simtime.Time, node, kind int) {
+	r.add(Event{At: at, Kind: KindTimer, From: node, To: kind})
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped returns how many events exceeded the cap.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteTo dumps the trace as text. It implements io.WriterTo.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range r.Events() {
+		n, err := fmt.Fprintln(w, e.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		n, err := fmt.Fprintf(w, "... %d events dropped (cap reached)\n", d)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Filter returns the events of one kind.
+func (r *Recorder) Filter(kind EventKind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary returns a one-line description of the trace.
+func (r *Recorder) Summary() string {
+	var sends, delivers, timers int
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindSend:
+			sends++
+		case KindDeliver:
+			delivers++
+		case KindTimer:
+			timers++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events (%d sends, %d deliveries, %d timers)", r.Len(), sends, delivers, timers)
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, ", %d dropped", d)
+	}
+	return b.String()
+}

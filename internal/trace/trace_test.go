@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"abenet/internal/channel"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+func TestRecorderCollectsInOrder(t *testing.T) {
+	r := NewRecorder(0)
+	r.MessageSent(1, 0, 1, "a")
+	r.MessageDelivered(2, 0, 1, "a")
+	r.TimerFired(3, 1, 7)
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != KindSend || events[1].Kind != KindDeliver || events[2].Kind != KindTimer {
+		t.Fatalf("kinds = %v %v %v", events[0].Kind, events[1].Kind, events[2].Kind)
+	}
+	if events[2].From != 1 || events[2].To != 7 {
+		t.Fatalf("timer event = %+v", events[2])
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.MessageSent(simtime.Time(i), 0, 1, i)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := NewRecorder(0)
+	r.MessageSent(1, 0, 1, "a")
+	events := r.Events()
+	events[0].From = 99
+	if r.Events()[0].From == 99 {
+		t.Fatal("Events exposed internal slice")
+	}
+}
+
+func TestWriteToAndSummary(t *testing.T) {
+	r := NewRecorder(2)
+	r.MessageSent(1, 0, 1, "x")
+	r.MessageDelivered(2, 0, 1, "x")
+	r.TimerFired(3, 0, 1)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "send") || !strings.Contains(out, "dropped") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(r.Summary(), "2 events") {
+		t.Fatalf("summary: %s", r.Summary())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder(0)
+	r.MessageSent(1, 0, 1, "a")
+	r.TimerFired(2, 0, 1)
+	r.MessageSent(3, 1, 0, "b")
+	sends := r.Filter(KindSend)
+	if len(sends) != 2 {
+		t.Fatalf("sends = %d", len(sends))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{KindSend: "send", KindDeliver: "deliver", KindTimer: "timer"} {
+		if k.String() != want {
+			t.Fatalf("%d -> %q", k, k.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+// echoNode bounces one message to exercise the Tracer integration.
+type echoNode struct{ start bool }
+
+func (e *echoNode) Init(ctx *network.Context) {
+	if e.start {
+		ctx.Send(0, "ping")
+	}
+}
+func (e *echoNode) OnMessage(ctx *network.Context, _ int, _ any) {
+	ctx.StopNetwork("done")
+}
+func (e *echoNode) OnTimer(*network.Context, int) {}
+
+func TestRecorderAsNetworkTracer(t *testing.T) {
+	rec := NewRecorder(0)
+	net, err := network.New(network.Config{
+		Graph:  topology.Ring(2),
+		Links:  channel.RandomDelayFactory(dist.NewDeterministic(1)),
+		Seed:   1,
+		Tracer: rec,
+	}, func(i int) network.Node { return &echoNode{start: i == 0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Filter(KindSend)) != 1 || len(rec.Filter(KindDeliver)) != 1 {
+		t.Fatalf("trace: %s", rec.Summary())
+	}
+	events := rec.Events()
+	if events[0].At != 0 || events[1].At != 1 {
+		t.Fatalf("timestamps: %v, %v", events[0].At, events[1].At)
+	}
+}

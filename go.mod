@@ -1,0 +1,3 @@
+module abenet
+
+go 1.24

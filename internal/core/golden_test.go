@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"abenet/internal/dist"
+)
+
+// TestGoldenSeeds pins the full trajectory of RunElection at seed 42 on
+// small rings (n = 4, 8, 16) and across every delay family at n = 8. Like
+// TestGoldenRun, the pins are deliberately brittle: a change to the event
+// kernel's tie-breaking, the RNG stream layout, or any distribution's
+// sampling algorithm (number or order of variates consumed per Sample)
+// shifts at least one of these trajectories. Intentional changes must
+// regenerate the table below and justify the change in the commit message.
+//
+// Time is pinned as a %.9g string rather than a raw float64 so the table
+// stays readable while still catching any drift above rounding noise.
+func TestGoldenSeeds(t *testing.T) {
+	delays := map[string]dist.Dist{
+		"exp":     nil, // default: Exponential(1)
+		"det":     dist.NewDeterministic(1),
+		"uniform": dist.NewUniform(0, 2),
+		"pareto":  dist.ParetoWithMean(1, 1.5),
+		"retx":    dist.NewRetransmission(0.5, 0.5),
+		"erlang":  dist.NewErlang(4, 1),
+	}
+	golden := []struct {
+		delay                                       string
+		n, leader, messages, activations, knockouts int
+		time                                        string
+	}{
+		{"exp", 4, 1, 8, 3, 2, "9.19898652"},
+		{"exp", 8, 7, 8, 1, 0, "19.8543429"},
+		{"exp", 16, 6, 16, 1, 0, "55.7411288"},
+		{"det", 8, 7, 8, 1, 0, "18"},
+		{"uniform", 8, 7, 8, 1, 0, "21.0081605"},
+		{"pareto", 8, 7, 8, 1, 0, "16.2780861"},
+		{"retx", 8, 7, 8, 1, 0, "19"},
+		{"erlang", 8, 7, 8, 1, 0, "17.4052757"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(fmt.Sprintf("%s/n=%d", g.delay, g.n), func(t *testing.T) {
+			d, ok := delays[g.delay]
+			if !ok {
+				t.Fatalf("unknown delay family %q", g.delay)
+			}
+			res, err := RunElection(ElectionConfig{
+				N: g.n, A0: DefaultA0(g.n), Delay: d, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Leaders != 1 || len(res.Violations) != 0 {
+				t.Fatalf("leaders=%d violations=%v", res.Leaders, res.Violations)
+			}
+			got := []int{res.LeaderIndex, int(res.Messages), res.Activations, res.Knockouts}
+			want := []int{g.leader, g.messages, g.activations, g.knockouts}
+			for i, name := range []string{"leader", "messages", "activations", "knockouts"} {
+				if got[i] != want[i] {
+					t.Errorf("%s = %d, want %d", name, got[i], want[i])
+				}
+			}
+			if ts := fmt.Sprintf("%.9g", res.Time); ts != g.time {
+				t.Errorf("time = %s, want %s", ts, g.time)
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+// Package dist provides non-negative delay distributions with exactly known
+// means, realising condition 1 of the ABE model (Bakhshi et al., PODC 2010,
+// Definition 1): every link's message delay has a *known bound on its
+// expectation*, while the delay itself may be unbounded.
+//
+// Every distribution reports its exact analytic mean through Mean(), so the
+// network layer can verify a configured topology against a declared δ
+// without sampling. Sampling is fully deterministic given an rng.Source:
+// each Sample call consumes a well-defined number of variates from the
+// source, so simulation runs replay bit-identically from a seed.
+//
+// The catalogue covers the paper's Section 1 motivating cases:
+//
+//   - Deterministic, Uniform: bounded support — the ABD (asynchronous
+//     bounded delay) limit cases.
+//   - Exponential, Erlang: the canonical unbounded ABE delays; Erlang is
+//     the k-hop routed case (ii).
+//   - Bimodal: congestion peaks, case (i).
+//   - Retransmission: lossy link with stop-and-wait ARQ, case (iii) —
+//     geometric attempts × slot time, mean slot/p.
+//   - Pareto: heavy tails with finite mean but (for α ≤ 2) infinite
+//     variance, the sharpest ABE-vs-ABD separation.
+//
+// All constructors validate their parameters eagerly and panic on invalid
+// arguments: a mis-parameterised delay model is a programming error, and
+// every consumer (link factories, network builders) relies on construction
+// implying a usable distribution.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"abenet/internal/rng"
+)
+
+// Dist is a non-negative random delay with exactly known expectation.
+//
+// Sample draws one value using only the provided source; implementations
+// must be stateless so that a Dist value can be shared across links and
+// goroutines, with all mutable state living in the per-caller rng.Source.
+type Dist interface {
+	// Sample returns one non-negative draw.
+	Sample(r *rng.Source) float64
+	// Mean returns the exact expectation (the per-link δ bound).
+	Mean() float64
+	// Name returns a short human-readable description for tables and
+	// test output.
+	Name() string
+}
+
+// check panics with a dist-prefixed message when ok is false.
+func check(ok bool, format string, args ...any) {
+	if !ok {
+		panic("dist: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ---- Deterministic ----
+
+type deterministic struct{ v float64 }
+
+// NewDeterministic returns the distribution concentrated on v ≥ 0: the
+// fixed-delay ABD limit case.
+func NewDeterministic(v float64) Dist {
+	check(finite(v) && v >= 0, "deterministic delay %v must be finite and non-negative", v)
+	return deterministic{v}
+}
+
+func (d deterministic) Sample(*rng.Source) float64 { return d.v }
+func (d deterministic) Mean() float64              { return d.v }
+func (d deterministic) Name() string               { return fmt.Sprintf("det(%g)", d.v) }
+
+// ---- Uniform ----
+
+type uniform struct{ low, high float64 }
+
+// NewUniform returns the uniform distribution on [low, high] with
+// 0 ≤ low ≤ high: bounded support, ABD-compatible.
+func NewUniform(low, high float64) Dist {
+	check(finite(low) && finite(high) && 0 <= low && low <= high,
+		"uniform bounds [%v, %v] must satisfy 0 <= low <= high", low, high)
+	return uniform{low, high}
+}
+
+func (d uniform) Sample(r *rng.Source) float64 { return d.low + (d.high-d.low)*r.Float64() }
+func (d uniform) Mean() float64                { return (d.low + d.high) / 2 }
+func (d uniform) Name() string                 { return fmt.Sprintf("uniform[%g,%g]", d.low, d.high) }
+
+// ---- Exponential ----
+
+type exponential struct{ mean float64 }
+
+// NewExponential returns the exponential distribution with the given
+// mean > 0 — the canonical unbounded ABE delay.
+func NewExponential(mean float64) Dist {
+	check(finite(mean) && mean > 0, "exponential mean %v must be finite and positive", mean)
+	return exponential{mean}
+}
+
+func (d exponential) Sample(r *rng.Source) float64 { return d.mean * r.ExpFloat64() }
+func (d exponential) Mean() float64                { return d.mean }
+func (d exponential) Name() string                 { return fmt.Sprintf("exp(%g)", d.mean) }
+
+// ---- Erlang ----
+
+type erlang struct {
+	k    int
+	mean float64
+}
+
+// NewErlang returns the k-stage Erlang distribution with the given *total*
+// mean (the sum of k independent exponentials of mean mean/k): the routed
+// multi-hop delay of the paper's case (ii). Requires k ≥ 1 and mean > 0.
+func NewErlang(k int, mean float64) Dist {
+	check(k >= 1, "erlang stage count %d must be at least 1", k)
+	check(finite(mean) && mean > 0, "erlang mean %v must be finite and positive", mean)
+	return erlang{k, mean}
+}
+
+func (d erlang) Sample(r *rng.Source) float64 {
+	stage := d.mean / float64(d.k)
+	sum := 0.0
+	for i := 0; i < d.k; i++ {
+		sum += stage * r.ExpFloat64()
+	}
+	return sum
+}
+func (d erlang) Mean() float64 { return d.mean }
+func (d erlang) Name() string  { return fmt.Sprintf("erlang(k=%d,mean=%g)", d.k, d.mean) }
+
+// ---- Pareto ----
+
+type pareto struct {
+	xm    float64 // scale: the minimum delay
+	alpha float64 // tail index
+}
+
+// ParetoWithMean returns the Pareto (type I) distribution with tail index
+// alpha > 1, scaled so its mean is exactly the given mean > 0. For
+// 1 < alpha ≤ 2 the variance is infinite while the mean stays finite —
+// a delay that is ABE but as far from ABD as it gets; alpha → 1⁺ pushes
+// ever more mass into the tail while Mean() stays pinned.
+func ParetoWithMean(mean, alpha float64) Dist {
+	check(finite(mean) && mean > 0, "pareto mean %v must be finite and positive", mean)
+	check(finite(alpha) && alpha > 1, "pareto tail index %v must exceed 1 for a finite mean", alpha)
+	return pareto{xm: mean * (alpha - 1) / alpha, alpha: alpha}
+}
+
+func (d pareto) Sample(r *rng.Source) float64 {
+	// Inverse CDF: F(x) = 1 - (xm/x)^alpha. Float64 is in [0, 1), so
+	// 1-u is in (0, 1] and the power never divides by zero.
+	return d.xm * math.Pow(1-r.Float64(), -1/d.alpha)
+}
+func (d pareto) Mean() float64 { return d.alpha * d.xm / (d.alpha - 1) }
+func (d pareto) Name() string  { return fmt.Sprintf("pareto(mean=%g,alpha=%g)", d.Mean(), d.alpha) }
+
+// Alpha returns the tail index (exported for conformance checks).
+func (d pareto) Alpha() float64 { return d.alpha }
+
+// Scale returns the minimum delay x_m (exported for conformance checks).
+func (d pareto) Scale() float64 { return d.xm }
+
+// ---- Bimodal ----
+
+type bimodal struct {
+	fast, slow Dist
+	pSlow      float64
+}
+
+// NewBimodal mixes two delay distributions: with probability pSlow the
+// delay is drawn from slow, otherwise from fast — congestion peaks, the
+// paper's case (i). Requires non-nil components and pSlow in [0, 1].
+func NewBimodal(fast, slow Dist, pSlow float64) Dist {
+	check(fast != nil && slow != nil, "bimodal components must be non-nil")
+	check(finite(pSlow) && 0 <= pSlow && pSlow <= 1, "bimodal mixture weight %v must be in [0, 1]", pSlow)
+	return bimodal{fast, slow, pSlow}
+}
+
+func (d bimodal) Sample(r *rng.Source) float64 {
+	// One variate chooses the branch, then the branch samples: the draw
+	// count depends only on the chosen component, keeping replay stable.
+	if r.Float64() < d.pSlow {
+		return d.slow.Sample(r)
+	}
+	return d.fast.Sample(r)
+}
+func (d bimodal) Mean() float64 {
+	return (1-d.pSlow)*d.fast.Mean() + d.pSlow*d.slow.Mean()
+}
+func (d bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%s,%s,p=%g)", d.fast.Name(), d.slow.Name(), d.pSlow)
+}

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abenet/internal/rng"
+)
+
+func TestDeclaredMeans(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want float64
+	}{
+		{NewDeterministic(0), 0},
+		{NewDeterministic(2.5), 2.5},
+		{NewUniform(0, 2), 1},
+		{NewUniform(0.1, 0.5), 0.3},
+		{NewUniform(3, 3), 3},
+		{NewExponential(1), 1},
+		{NewExponential(0.25), 0.25},
+		{NewErlang(1, 1.5), 1.5},
+		{NewErlang(4, 1), 1},
+		{ParetoWithMean(1, 1.5), 1},
+		{ParetoWithMean(2, 3), 2},
+		{ParetoWithMean(1, 1.05), 1}, // α → 1⁺: mean pinned despite the tail
+		{NewRetransmission(0.5, 0.5), 1},
+		{NewRetransmission(0.1, 1), 10},
+		{NewRetransmission(1, 2), 2}, // p → 1: degenerate single attempt
+		// The adhoc example's congestion mix: 0.4·0.9 + 4·0.1 = 0.76.
+		{NewBimodal(NewDeterministic(0.4), NewExponential(4), 0.1), 0.76},
+		{NewBimodal(NewDeterministic(0.5), NewDeterministic(5.5), 0), 0.5},
+		{NewBimodal(NewDeterministic(0.5), NewDeterministic(5.5), 1), 5.5},
+	}
+	for _, c := range cases {
+		if got := c.d.Mean(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Mean() = %v, want %v", c.d.Name(), got, c.want)
+		}
+		if c.d.Name() == "" {
+			t.Errorf("%T has empty Name()", c.d)
+		}
+	}
+}
+
+func TestInvalidArgumentsPanic(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"det negative", func() { NewDeterministic(-1) }},
+		{"det NaN", func() { NewDeterministic(nan) }},
+		{"det Inf", func() { NewDeterministic(inf) }},
+		{"uniform negative low", func() { NewUniform(-1, 1) }},
+		{"uniform inverted", func() { NewUniform(2, 1) }},
+		{"uniform NaN", func() { NewUniform(nan, 1) }},
+		{"exp zero", func() { NewExponential(0) }},
+		{"exp negative", func() { NewExponential(-3) }},
+		{"exp Inf", func() { NewExponential(inf) }},
+		{"erlang zero stages", func() { NewErlang(0, 1) }},
+		{"erlang negative stages", func() { NewErlang(-2, 1) }},
+		{"erlang zero mean", func() { NewErlang(3, 0) }},
+		{"pareto alpha one", func() { ParetoWithMean(1, 1) }}, // infinite mean
+		{"pareto alpha below one", func() { ParetoWithMean(1, 0.5) }},
+		{"pareto zero mean", func() { ParetoWithMean(0, 2) }},
+		{"pareto NaN alpha", func() { ParetoWithMean(1, nan) }},
+		{"retx zero p", func() { NewRetransmission(0, 1) }},
+		{"retx p above one", func() { NewRetransmission(1.2, 1) }},
+		{"retx zero slot", func() { NewRetransmission(0.5, 0) }},
+		{"retx NaN p", func() { NewRetransmission(nan, 1) }},
+		{"bimodal nil fast", func() { NewBimodal(nil, NewDeterministic(1), 0.5) }},
+		{"bimodal nil slow", func() { NewBimodal(NewDeterministic(1), nil, 0.5) }},
+		{"bimodal negative weight", func() { NewBimodal(NewDeterministic(1), NewDeterministic(2), -0.1) }},
+		{"bimodal weight above one", func() { NewBimodal(NewDeterministic(1), NewDeterministic(2), 1.1) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "dist: ") {
+					t.Fatalf("panic value %v lacks the dist: prefix", r)
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestParetoScale(t *testing.T) {
+	// ParetoWithMean(m, α) must place the minimum at x_m = m(α−1)/α and
+	// never sample below it.
+	p := ParetoWithMean(1, 2).(pareto)
+	if got, want := p.Scale(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scale = %v, want %v", got, want)
+	}
+	if got, want := p.Alpha(), 2.0; got != want {
+		t.Fatalf("alpha = %v, want %v", got, want)
+	}
+	r := rng.New(1)
+	for i := 0; i < 10_000; i++ {
+		if x := p.Sample(r); x < p.Scale() {
+			t.Fatalf("sample %v below scale %v", x, p.Scale())
+		}
+	}
+}
+
+func TestRetransmissionAttempts(t *testing.T) {
+	// Attempts is geometric on {1, 2, ...}: never below 1, mean 1/p.
+	for _, p := range []float64{0.05, 0.3, 0.9, 1} {
+		model := NewRetransmission(p, 1)
+		r := rng.New(7)
+		const n = 200_000
+		total := 0
+		for i := 0; i < n; i++ {
+			a := model.Attempts(r)
+			if a < 1 {
+				t.Fatalf("p=%v: %d attempts", p, a)
+			}
+			total += a
+		}
+		got := float64(total) / n
+		want := 1 / p
+		// Geometric sd is √(1−p)/p, so a 5σ band on the mean of n draws.
+		slack := 5*math.Sqrt(1-p)/p/math.Sqrt(n) + 1e-12
+		if math.Abs(got-want) > slack {
+			t.Errorf("p=%v: mean attempts %v, want %v ± %v", p, got, want, slack)
+		}
+	}
+}
+
+func TestRetransmissionDegenerate(t *testing.T) {
+	// p = 1 is the lossless limit: exactly one attempt, delay = slot.
+	model := NewRetransmission(1, 2)
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		if a := model.Attempts(r); a != 1 {
+			t.Fatalf("attempts = %d, want 1", a)
+		}
+	}
+	if model.Sample(r) != 2 {
+		t.Fatal("p=1 sample must equal the slot time")
+	}
+	if model.Mean() != 2 {
+		t.Fatalf("mean = %v, want 2", model.Mean())
+	}
+}
+
+func TestRetransmissionSampleMatchesAttempts(t *testing.T) {
+	// Sample must be exactly Attempts × SlotTime on the same stream.
+	model := NewRetransmission(0.3, 0.25)
+	ra, rb := rng.New(11), rng.New(11)
+	for i := 0; i < 1000; i++ {
+		want := float64(model.Attempts(ra)) * model.SlotTime
+		if got := model.Sample(rb); got != want {
+			t.Fatalf("sample %d: %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestErlangOneStageIsExponential(t *testing.T) {
+	// Erlang(1, m) and Exponential(m) must be the same distribution, and
+	// with the stage arithmetic used here, samplewise identical.
+	e1, ex := NewErlang(1, 0.7), NewExponential(0.7)
+	ra, rb := rng.New(5), rng.New(5)
+	for i := 0; i < 1000; i++ {
+		if a, b := e1.Sample(ra), ex.Sample(rb); a != b {
+			t.Fatalf("sample %d: erlang %v vs exponential %v", i, a, b)
+		}
+	}
+}
+
+func TestBimodalBranchSelection(t *testing.T) {
+	// Weight 0 and 1 must collapse to the pure components.
+	fast, slow := NewDeterministic(1), NewDeterministic(9)
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		if x := NewBimodal(fast, slow, 0).Sample(r); x != 1 {
+			t.Fatalf("pSlow=0 sampled %v", x)
+		}
+		if x := NewBimodal(fast, slow, 1).Sample(r); x != 9 {
+			t.Fatalf("pSlow=1 sampled %v", x)
+		}
+	}
+}

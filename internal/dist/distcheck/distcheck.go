@@ -1,0 +1,274 @@
+// Package distcheck is a reusable conformance kit for dist.Dist
+// implementations: it turns the ABE model's condition 1 — "the delay's
+// expectation is exactly the declared bound" — into checkable statistical
+// invariants, the way an arrival-time contract should be enforced rather
+// than assumed.
+//
+// The kit provides:
+//
+//   - CheckMean: the empirical mean of n samples must match Mean() within
+//     a CLT-derived k·s/√n bound (self-normalised, so it adapts to the
+//     distribution's spread). The bound is only valid for finite-variance
+//     laws: for infinite-variance tails (Pareto α ≤ 2) no CLT applies and
+//     the empirical mean misbehaves by design — cover those with the
+//     shape-specific checks below instead.
+//   - CheckVariance: for finite-variance distributions, the sample
+//     variance must match the analytic variance within a bound derived
+//     from the sampling distribution of s² (using the empirical fourth
+//     central moment).
+//   - CheckTailIndex: a Hill estimate over the upper order statistics
+//     must recover a declared power-law tail index (Pareto).
+//   - CheckUnbounded: the sample maximum must exceed any proposed ABD-style
+//     hard bound — the observable ABE-vs-ABD distinction.
+//   - CheckNonNegative and CheckReplay: delays are non-negative, and
+//     sampling is a pure function of the rng.Source (same seed → identical
+//     sequence, and no hidden state coupling between sources).
+//
+// All checks take a testing.TB so the kit itself is testable, and draw
+// from a fixed default seed so results are reproducible: a passing check
+// stays passing.
+package distcheck
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"abenet/internal/dist"
+	"abenet/internal/rng"
+)
+
+// DefaultSamples is the sample size used when Options.Samples is zero. At
+// 10⁵ samples the CLT bound on the mean is tight enough to catch a
+// mis-declared Mean() of a few percent for the light-tailed families.
+const DefaultSamples = 100_000
+
+// Options tunes a check run. The zero value is ready to use.
+type Options struct {
+	// Samples is the number of draws; 0 means DefaultSamples.
+	Samples int
+	// Sigmas is the width of the acceptance band in estimated standard
+	// errors; 0 means 4 (a ~6·10⁻⁵ false-alarm rate per check if the
+	// estimator were Gaussian, and deterministic anyway under a fixed
+	// seed).
+	Sigmas float64
+	// Seed seeds the rng.Source; 0 means a fixed default so runs are
+	// reproducible by default.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = DefaultSamples
+	}
+	if o.Sigmas <= 0 {
+		o.Sigmas = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xabe_de1a7 // arbitrary fixed default
+	}
+	return o
+}
+
+// Draw returns opt.Samples draws of d from a fresh source seeded with
+// opt.Seed.
+func Draw(d dist.Dist, opt Options) []float64 {
+	opt = opt.withDefaults()
+	r := rng.New(opt.Seed)
+	xs := make([]float64, opt.Samples)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+// Moments summarises one sampling run.
+type Moments struct {
+	N        int
+	Mean     float64
+	Var      float64 // unbiased sample variance
+	M4       float64 // fourth central moment (biased, for s² standard errors)
+	Min, Max float64
+}
+
+// MomentsOf computes Moments in two passes (exact mean first, then central
+// moments), which is numerically safer than one-pass updates at this scale.
+func MomentsOf(xs []float64) Moments {
+	m := Moments{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if m.N == 0 {
+		return m
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+	}
+	m.Mean = sum / float64(m.N)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m.Mean
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	if m.N > 1 {
+		m.Var = m2 / float64(m.N-1)
+	}
+	m.M4 = m4 / float64(m.N)
+	return m
+}
+
+// eps is the absolute floating-point slack added to every statistical
+// bound, covering summation rounding and exact (zero-variance) cases.
+func eps(scale float64) float64 { return 1e-9 * (1 + math.Abs(scale)) }
+
+// CheckMean verifies |empirical mean − d.Mean()| ≤ Sigmas·s/√n: the
+// declared expectation must be the one the samples actually converge to.
+// Only call this for finite-variance distributions; with an infinite
+// variance s/√n is not a standard error and the check turns into a coin
+// flip over seeds.
+func CheckMean(t testing.TB, d dist.Dist, opt Options) {
+	t.Helper()
+	opt = opt.withDefaults()
+	meanWithinBand(t, d, MomentsOf(Draw(d, opt)), opt)
+}
+
+func meanWithinBand(t testing.TB, d dist.Dist, m Moments, opt Options) {
+	t.Helper()
+	want := d.Mean()
+	bound := opt.Sigmas*math.Sqrt(m.Var/float64(m.N)) + eps(want)
+	if diff := math.Abs(m.Mean - want); diff > bound {
+		t.Errorf("%s: empirical mean %v vs declared %v: |diff| = %v exceeds %g·s/√n = %v (n = %d)",
+			d.Name(), m.Mean, want, diff, opt.Sigmas, bound, m.N)
+	}
+}
+
+// CheckVariance verifies the sample variance against the analytic variance
+// wantVar. The acceptance band is Sigmas standard errors of s², using
+// se(s²) ≈ √((m₄ − s⁴)/n). Only call this for finite-variance
+// distributions; heavy tails (Pareto α ≤ 2) have no variance to check.
+func CheckVariance(t testing.TB, d dist.Dist, wantVar float64, opt Options) {
+	t.Helper()
+	opt = opt.withDefaults()
+	m := MomentsOf(Draw(d, opt))
+	se := math.Sqrt(math.Max(0, m.M4-m.Var*m.Var) / float64(m.N))
+	bound := opt.Sigmas*se + eps(wantVar)
+	if diff := math.Abs(m.Var - wantVar); diff > bound {
+		t.Errorf("%s: sample variance %v vs analytic %v: |diff| = %v exceeds %g·se(s²) = %v (n = %d)",
+			d.Name(), m.Var, wantVar, diff, opt.Sigmas, bound, m.N)
+	}
+}
+
+// HillTailIndex returns the Hill estimate of the power-law tail index from
+// the k largest of xs: k / Σ log(x₍ᵢ₎/x₍ₖ₊₁₎). It panics if the data has
+// fewer than k+1 positive values.
+func HillTailIndex(xs []float64, k int) float64 {
+	if k < 1 || k+1 > len(xs) {
+		panic("distcheck: Hill estimator needs 1 <= k < len(xs)")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	ref := sorted[k]
+	if ref <= 0 {
+		panic("distcheck: Hill estimator needs positive order statistics")
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += math.Log(sorted[i] / ref)
+	}
+	return float64(k) / sum
+}
+
+// CheckTailIndex verifies that the Hill estimate over the top 1% of
+// samples recovers wantAlpha within relative tolerance relTol. Use it for
+// distributions with genuine power-law tails (Pareto).
+func CheckTailIndex(t testing.TB, d dist.Dist, wantAlpha, relTol float64, opt Options) {
+	t.Helper()
+	opt = opt.withDefaults()
+	xs := Draw(d, opt)
+	k := len(xs) / 100
+	if k < 10 {
+		k = 10
+	}
+	got := HillTailIndex(xs, k)
+	if rel := math.Abs(got-wantAlpha) / wantAlpha; rel > relTol {
+		t.Errorf("%s: Hill tail index %v vs declared α = %v (rel. error %v > %v, k = %d)",
+			d.Name(), got, wantAlpha, rel, relTol, k)
+	}
+}
+
+// CheckUnbounded verifies the sample maximum exceeds mustExceed: evidence
+// that no hard ABD-style delay bound at that level exists, even though the
+// expectation is finite and known.
+func CheckUnbounded(t testing.TB, d dist.Dist, mustExceed float64, opt Options) {
+	t.Helper()
+	m := MomentsOf(Draw(d, opt))
+	if m.Max <= mustExceed {
+		t.Errorf("%s: max of %d samples is %v, expected unbounded support to exceed %v",
+			d.Name(), m.N, m.Max, mustExceed)
+	}
+}
+
+// CheckNonNegative verifies every sample is finite and ≥ 0: delays cannot
+// be negative, NaN or infinite.
+func CheckNonNegative(t testing.TB, d dist.Dist, opt Options) {
+	t.Helper()
+	nonNegative(t, d, Draw(d, opt))
+}
+
+func nonNegative(t testing.TB, d dist.Dist, xs []float64) {
+	t.Helper()
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			t.Errorf("%s: sample %d is %v, want finite and non-negative", d.Name(), i, x)
+			return
+		}
+	}
+}
+
+// CheckReplay verifies sampling is a pure function of the rng.Source:
+// the same seed yields an identical sequence, and drawing on one source is
+// unaffected by interleaved draws on another (no hidden shared state in
+// the Dist value).
+func CheckReplay(t testing.TB, d dist.Dist, opt Options) {
+	t.Helper()
+	opt = opt.withDefaults()
+	n := opt.Samples
+	if n > 1000 {
+		n = 1000 // replay needs exactness, not statistics
+	}
+	ref := make([]float64, n)
+	r := rng.New(opt.Seed)
+	for i := range ref {
+		ref[i] = d.Sample(r)
+	}
+	a, b := rng.New(opt.Seed), rng.New(opt.Seed+1)
+	for i := 0; i < n; i++ {
+		got := d.Sample(a)
+		if got != ref[i] {
+			t.Errorf("%s: replay diverged at sample %d: %v vs %v", d.Name(), i, got, ref[i])
+			return
+		}
+		d.Sample(b) // interleaved draws must not perturb a's stream
+	}
+}
+
+// CheckBasics runs the finite-variance contract: mean convergence,
+// non-negativity and seed-determinism, over a single shared sample set.
+// Shape-specific checks (variance, tail index, unboundedness) are
+// parameterised and invoked separately; infinite-variance laws should
+// skip this in favour of CheckNonNegative + CheckReplay + tail checks.
+func CheckBasics(t testing.TB, d dist.Dist, opt Options) {
+	t.Helper()
+	opt = opt.withDefaults()
+	xs := Draw(d, opt)
+	meanWithinBand(t, d, MomentsOf(xs), opt)
+	nonNegative(t, d, xs)
+	CheckReplay(t, d, opt)
+}

@@ -1,0 +1,160 @@
+package distcheck
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"abenet/internal/dist"
+	"abenet/internal/rng"
+)
+
+// recorder is a testing.TB that records failures instead of failing, so
+// the kit's ability to *detect* broken distributions is itself testable.
+type recorder struct {
+	testing.TB
+	msgs []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.msgs = append(r.msgs, fmt.Sprintf(format, args...))
+}
+func (r *recorder) failed() bool { return len(r.msgs) > 0 }
+
+// lyingMean reports a mean the samples do not have.
+type lyingMean struct{ dist.Dist }
+
+func (l lyingMean) Mean() float64 { return l.Dist.Mean() * 1.2 }
+func (l lyingMean) Name() string  { return "lying-mean" }
+
+// negative sometimes produces negative delays.
+type negative struct{}
+
+func (negative) Sample(r *rng.Source) float64 { return r.Float64() - 0.5 }
+func (negative) Mean() float64                { return 0 }
+func (negative) Name() string                 { return "negative" }
+
+// stateful violates purity: its output depends on hidden internal state,
+// not only on the rng.Source passed in.
+type stateful struct{ calls *int }
+
+func (s stateful) Sample(r *rng.Source) float64 {
+	*s.calls++
+	return r.Float64() + float64(*s.calls%2)
+}
+func (stateful) Mean() float64 { return 1 }
+func (stateful) Name() string  { return "stateful" }
+
+func TestCheckMeanAcceptsHonestDist(t *testing.T) {
+	CheckMean(t, dist.NewExponential(1), Options{})
+}
+
+func TestCheckMeanRejectsLyingDist(t *testing.T) {
+	rec := &recorder{}
+	CheckMean(rec, lyingMean{dist.NewExponential(1)}, Options{})
+	if !rec.failed() {
+		t.Fatal("a 20% mis-declared mean slipped past the 4σ CLT bound")
+	}
+}
+
+func TestCheckVarianceRejectsWrongVariance(t *testing.T) {
+	rec := &recorder{}
+	CheckVariance(rec, dist.NewExponential(1), 1.5, Options{})
+	if !rec.failed() {
+		t.Fatal("a 50% wrong variance slipped past the se(s²) bound")
+	}
+}
+
+func TestCheckNonNegativeRejectsNegativeSamples(t *testing.T) {
+	rec := &recorder{}
+	CheckNonNegative(rec, negative{}, Options{})
+	if !rec.failed() {
+		t.Fatal("negative delays went undetected")
+	}
+}
+
+func TestCheckReplayRejectsHiddenState(t *testing.T) {
+	rec := &recorder{}
+	calls := 0
+	CheckReplay(rec, stateful{&calls}, Options{})
+	if !rec.failed() {
+		t.Fatal("hidden sampling state went undetected")
+	}
+}
+
+func TestCheckUnboundedRejectsBoundedDist(t *testing.T) {
+	rec := &recorder{}
+	CheckUnbounded(rec, dist.NewUniform(0, 2), 2, Options{})
+	if !rec.failed() {
+		t.Fatal("a bounded distribution passed the unbounded-support check")
+	}
+}
+
+func TestCheckTailIndexRejectsWrongAlpha(t *testing.T) {
+	rec := &recorder{}
+	CheckTailIndex(rec, dist.ParetoWithMean(1, 3), 1.5, 0.15, Options{})
+	if !rec.failed() {
+		t.Fatal("a doubled tail index passed the Hill check")
+	}
+}
+
+func TestMomentsOfKnownData(t *testing.T) {
+	m := MomentsOf([]float64{1, 2, 3, 4})
+	if m.N != 4 || m.Mean != 2.5 || m.Min != 1 || m.Max != 4 {
+		t.Fatalf("moments = %+v", m)
+	}
+	if want := 5.0 / 3; math.Abs(m.Var-want) > 1e-12 {
+		t.Fatalf("var = %v, want %v", m.Var, want)
+	}
+}
+
+func TestMomentsOfEmpty(t *testing.T) {
+	m := MomentsOf(nil)
+	if m.N != 0 || m.Var != 0 {
+		t.Fatalf("moments of empty = %+v", m)
+	}
+}
+
+func TestHillOnExactParetoData(t *testing.T) {
+	// Deterministic inverse-CDF grid of a Pareto(α = 2, x_m = 1): the
+	// Hill estimate over the top 1% must land very close to 2.
+	const n = 100_000
+	xs := make([]float64, n)
+	for i := range xs {
+		u := (float64(i) + 0.5) / n
+		xs[i] = math.Pow(1-u, -1.0/2)
+	}
+	got := HillTailIndex(xs, n/100)
+	if math.Abs(got-2) > 0.1 {
+		t.Fatalf("Hill index on exact Pareto(2) grid = %v", got)
+	}
+}
+
+func TestHillPanicsOnBadK(t *testing.T) {
+	for _, f := range []func(){
+		func() { HillTailIndex([]float64{1, 2, 3}, 0) },
+		func() { HillTailIndex([]float64{1, 2, 3}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Samples != DefaultSamples || o.Sigmas != 4 || o.Seed == 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Explicit values survive.
+	o = Options{Samples: 10, Sigmas: 2, Seed: 9}.withDefaults()
+	if o.Samples != 10 || o.Sigmas != 2 || o.Seed != 9 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+}

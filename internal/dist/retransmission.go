@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"abenet/internal/rng"
+)
+
+// Retransmission models the paper's Section 1 case (iii) delay: a lossy
+// physical channel with per-transmission success probability P and
+// stop-and-wait ARQ. Each attempt occupies SlotTime time units and succeeds
+// independently, so the number of attempts is geometric with parameter P
+// and the delay is attempts × SlotTime: unbounded support with exact
+// expectation SlotTime/P (the paper's k_avg = 1/p analysis).
+//
+// The struct is exported (unlike the other distributions) because the ARQ
+// link simulates the individual attempts and therefore needs Attempts and
+// SlotTime separately, not just the folded delay.
+type Retransmission struct {
+	// P is the per-attempt success probability, in (0, 1].
+	P float64
+	// SlotTime is the duration of one transmission attempt, > 0.
+	SlotTime float64
+}
+
+var _ Dist = Retransmission{}
+
+// NewRetransmission returns the ARQ delay model with per-attempt success
+// probability p ∈ (0, 1] and per-attempt duration slot > 0. It panics on
+// invalid parameters.
+func NewRetransmission(p, slot float64) Retransmission {
+	check(finite(p) && 0 < p && p <= 1, "retransmission success probability %v must be in (0, 1]", p)
+	check(finite(slot) && slot > 0, "retransmission slot time %v must be finite and positive", slot)
+	return Retransmission{P: p, SlotTime: slot}
+}
+
+// Attempts draws the number of transmission attempts until first success:
+// geometric on {1, 2, ...} with parameter P, sampled by inverse CDF so
+// exactly one variate is consumed regardless of the outcome.
+func (d Retransmission) Attempts(r *rng.Source) int {
+	u := r.Float64()
+	if d.P >= 1 {
+		return 1
+	}
+	// P(X > k) = (1-p)^k, so X = ceil(log(1-u) / log(1-p)) maps the
+	// uniform u exactly onto the geometric law. Log1p keeps precision
+	// for small p and small u.
+	k := math.Ceil(math.Log1p(-u) / math.Log1p(-d.P))
+	if k < 1 {
+		return 1 // u == 0 maps to the first attempt
+	}
+	if k > math.MaxInt32 {
+		return math.MaxInt32 // unreachable for sane p; guards int overflow
+	}
+	return int(k)
+}
+
+// Sample implements Dist: attempts × slot time.
+func (d Retransmission) Sample(r *rng.Source) float64 {
+	return float64(d.Attempts(r)) * d.SlotTime
+}
+
+// Mean implements Dist: exactly SlotTime/P.
+func (d Retransmission) Mean() float64 { return d.SlotTime / d.P }
+
+// Name implements Dist.
+func (d Retransmission) Name() string {
+	return fmt.Sprintf("retx(p=%g,slot=%g)", d.P, d.SlotTime)
+}

@@ -12,32 +12,52 @@
 // expectation is assumed, not on the delay itself — which captures lossy
 // radio links with retransmission, congested links, and dynamic routing.
 //
-// The package exposes:
+// # The unified API
 //
-//   - the ABE model as machine-checkable parameters (Params, VerifyNetwork);
-//   - the paper's probabilistic leader-election algorithm for anonymous,
-//     unidirectional ABE rings of known size, with average linear time and
-//     message complexity (RunElection, A0ForRing);
-//   - baseline elections for comparison: Itai–Rodeh on synchronous and
-//     asynchronous anonymous rings, Chang–Roberts with identities
-//     (RunItaiRodehSync, RunItaiRodehAsync, RunChangRoberts);
-//   - synchronizers and the Theorem 1 measurement machinery: the round and
-//     α synchronizers (≥ n messages per round) and the clock-driven ABD
-//     synchronizer whose round discipline provably breaks on ABE networks
-//     (RunSynchronized, RunClockSync);
-//   - an exhaustive bounded model checker for the election protocol's
-//     safety invariants (CheckElection);
-//   - a live goroutine/channel runtime demonstrating the algorithm under
-//     real concurrency (RunLiveElection);
-//   - a seeded experiment harness for parameter sweeps with confidence
-//     intervals and growth-exponent fits (Sweep, GrowthExponent).
+// The package mirrors the paper's own separation of network and algorithm:
+// an Env states the ABE environment once (topology, links, clocks,
+// processing, seed, run bounds), a Protocol bundles one algorithm with its
+// options, and Run executes any protocol on any environment, returning a
+// common Report:
 //
-// The delay, clock and processing models live in the re-exported
-// constructors (Exponential, Retransmission, UniformClocks, ...); all
-// simulation is deterministic given a seed.
+//	rep, err := abenet.Run(
+//	    abenet.Env{N: 64, Delay: abenet.Exponential(1), Seed: 7},
+//	    abenet.Election{},
+//	)
+//
+// Protocols are also registered by name (Protocols, ProtocolByName), so
+// tools and sweeps can drive any (protocol × environment) pair generically:
+//
+//	sweep := abenet.Sweep{Name: "demo", Repetitions: 50}
+//	points, err := sweep.RunProtocol("chang-roberts", abenet.Env{},
+//	    []float64{8, 16, 32, 64}, abenet.RequireElected)
+//
+// The available protocols: the paper's election for anonymous ABE rings
+// (Election), the synchronous and asynchronous Itai–Rodeh baselines
+// (ItaiRodehSync, ItaiRodehAsync), the identity-based Chang–Roberts and
+// Peterson baselines (ChangRoberts, Peterson), synchronizer-backed
+// synchronous execution (Synchronized, SynchronizedElection), the
+// clock-driven ABD synchronizer workload (ClockSync), and the
+// real-concurrency goroutine runtime (LiveElection). Ring protocols run on
+// any topology embedding a directed Hamiltonian cycle (Ring, BiRing,
+// Complete, Hypercube, ...).
+//
+// The historical per-protocol entry points (RunElection, RunItaiRodehSync,
+// ...) remain as deprecated shims over Run with byte-identical outputs.
+//
+// The package also exposes the ABE model itself as machine-checkable
+// parameters (Params), an exhaustive bounded model checker for the
+// election's safety invariants (CheckElection), and a seeded experiment
+// harness with confidence intervals and growth-exponent fits (Sweep,
+// GrowthExponent). The delay, clock and link models live in the
+// re-exported constructors (Exponential, Retransmission, UniformClocks,
+// ARQLinks, ...); all simulation is deterministic given a seed.
 package abenet
 
 import (
+	"fmt"
+	"math"
+
 	"abenet/internal/channel"
 	"abenet/internal/check"
 	"abenet/internal/clock"
@@ -46,11 +66,82 @@ import (
 	"abenet/internal/election"
 	"abenet/internal/harness"
 	"abenet/internal/live"
+	"abenet/internal/runner"
 	"abenet/internal/stats"
 	"abenet/internal/synchronizer"
 	"abenet/internal/syncnet"
 	"abenet/internal/topology"
 )
+
+// ---- The unified Env / Protocol / Report API ----
+
+// Env states the ABE environment (Definition 1) plus run bounds, once, for
+// every protocol: topology, link delays, clock speeds, processing times,
+// the seed, and the horizon/event/round budgets.
+type Env = runner.Env
+
+// Protocol is a runnable protocol: an algorithm plus its options, bound to
+// an environment only at Run time.
+type Protocol = runner.Protocol
+
+// Report is the common result shape of every protocol run, with a typed
+// Extra payload for protocol-specific measurements.
+type Report = runner.Report
+
+// Extra payload types carried by Report.Extra, per protocol.
+type (
+	// ElectionExtra is Election's Extra payload.
+	ElectionExtra = runner.ElectionExtra
+	// SyncExtra is Synchronized and SynchronizedElection's Extra payload.
+	SyncExtra = runner.SyncExtra
+	// ClockSyncExtra is ClockSync's Extra payload.
+	ClockSyncExtra = runner.ClockSyncExtra
+	// LiveExtra is LiveElection's Extra payload.
+	LiveExtra = runner.LiveExtra
+)
+
+// The protocol option structs. Zero values select balanced defaults, so
+// every protocol is runnable as-is.
+type (
+	// Election is the paper's probabilistic leader election for anonymous
+	// unidirectional ABE rings (Section 3).
+	Election = runner.Election
+	// ItaiRodehSync is the phase-based synchronous Itai–Rodeh baseline.
+	ItaiRodehSync = runner.ItaiRodehSync
+	// ItaiRodehAsync is the classic asynchronous Itai–Rodeh baseline
+	// (FIFO channels, Θ(n log n) expected messages).
+	ItaiRodehAsync = runner.ItaiRodehAsync
+	// ChangRoberts is the identity-based asynchronous baseline.
+	ChangRoberts = runner.ChangRoberts
+	// Peterson is Peterson's deterministic O(n log n) election for
+	// unidirectional rings with identities and FIFO channels.
+	Peterson = runner.Peterson
+	// Synchronized executes an arbitrary synchronous protocol over the
+	// ABE environment via a message-driven synchronizer.
+	Synchronized = runner.Synchronized
+	// SynchronizedElection runs the synchronous Itai–Rodeh election over
+	// a synchronizer — the Theorem 1 cost workload.
+	SynchronizedElection = runner.SynchronizedElection
+	// ClockSync is the clock-driven ABD synchronizer workload.
+	ClockSync = runner.ClockSync
+	// LiveElection runs the election on real goroutines and channels.
+	LiveElection = runner.LiveElection
+)
+
+// Run executes protocol p on environment env — the single entry point
+// every other Run* function is a shim over.
+func Run(env Env, p Protocol) (Report, error) { return runner.Run(env, p) }
+
+// Protocols returns the sorted names of every registered protocol.
+func Protocols() []string { return runner.Protocols() }
+
+// ProtocolByName returns the registered protocol's runnable default
+// instance.
+func ProtocolByName(name string) (Protocol, bool) { return runner.ProtocolByName(name) }
+
+// RequireElected returns an error unless the report shows exactly one
+// leader and no invariant violations.
+func RequireElected(r Report) error { return runner.RequireElected(r) }
 
 // ---- The ABE model (Definition 1) ----
 
@@ -65,14 +156,54 @@ func DefaultParams() Params { return core.DefaultParams() }
 
 // ElectionConfig configures one election run on an anonymous
 // unidirectional ABE ring.
+//
+// Deprecated: state the environment in Env and the algorithm options in
+// Election; run with Run.
 type ElectionConfig = core.ElectionConfig
 
 // ElectionResult summarises one election run.
 type ElectionResult = core.ElectionResult
 
 // RunElection runs the paper's election algorithm.
+//
+// Deprecated: use Run(Env{...}, Election{...}). This shim routes through
+// Run with byte-identical results, except that A0 = 0 now selects the
+// balanced default instead of erroring.
 func RunElection(cfg ElectionConfig) (ElectionResult, error) {
-	return core.RunElection(cfg)
+	rep, err := Run(Env{
+		Graph:      cfg.Graph,
+		N:          cfg.N,
+		Delay:      cfg.Delay,
+		Links:      cfg.Links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		Horizon:    cfg.Horizon,
+		MaxEvents:  cfg.MaxEvents,
+		Tracer:     cfg.Tracer,
+	}, Election{
+		A0:                 cfg.A0,
+		TickInterval:       cfg.TickInterval,
+		ConstantActivation: cfg.ConstantActivation,
+		KeepRunning:        cfg.KeepRunning,
+	})
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	extra := rep.Extra.(ElectionExtra)
+	return ElectionResult{
+		Elected:        rep.Elected,
+		LeaderIndex:    rep.LeaderIndex,
+		Leaders:        rep.Leaders,
+		Messages:       rep.Messages,
+		Transmissions:  rep.Transmissions,
+		Time:           rep.Time,
+		Activations:    extra.Activations,
+		Knockouts:      extra.Knockouts,
+		ResidualPurges: extra.ResidualPurges,
+		Violations:     rep.Violations,
+		Params:         rep.Params,
+	}, nil
 }
 
 // A0ForRing returns the base activation parameter that realises the
@@ -154,45 +285,122 @@ func FIFOLinks(delay DelayDist) LinkFactory { return channel.FIFOFactory(delay) 
 // Retransmission.
 func ARQLinks(p, slot float64) LinkFactory { return channel.ARQFactory(p, slot) }
 
-// ---- Baseline elections ----
+// ---- Baseline elections (deprecated entry points) ----
 
 // ItaiRodehSyncResult reports the synchronous baseline run.
 type ItaiRodehSyncResult = election.ItaiRodehSyncResult
 
 // RunItaiRodehSync runs the phase-based Itai–Rodeh style election on an
 // anonymous synchronous ring (q = 0 means 1/n).
+//
+// Deprecated: use Run(Env{N: n, Seed: seed, MaxRounds: maxRounds},
+// ItaiRodehSync{Q: q}).
 func RunItaiRodehSync(n int, q float64, seed uint64, maxRounds int) (ItaiRodehSyncResult, error) {
-	return election.RunItaiRodehSync(n, q, seed, maxRounds)
+	rep, err := Run(Env{N: n, Seed: seed, MaxRounds: maxRounds}, ItaiRodehSync{Q: q})
+	if err != nil {
+		return ItaiRodehSyncResult{}, err
+	}
+	return ItaiRodehSyncResult{
+		Elected:     rep.Elected,
+		LeaderIndex: rep.LeaderIndex,
+		Leaders:     rep.Leaders,
+		Messages:    rep.Messages,
+		Rounds:      rep.Rounds,
+	}, nil
 }
 
 // AsyncRingConfig configures an asynchronous baseline run.
+//
+// Deprecated: state the environment in Env; run with Run.
 type AsyncRingConfig = election.AsyncRingConfig
 
 // AsyncRingResult reports an asynchronous baseline run.
 type AsyncRingResult = election.AsyncRingResult
 
-// RunItaiRodehAsync runs the classic Itai–Rodeh election (anonymous,
-// FIFO, Θ(n log n) expected messages).
-func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
-	return election.RunItaiRodehAsync(cfg)
+// asyncRingResult converts a Report into the historical result shape.
+func asyncRingResult(rep Report) AsyncRingResult {
+	return AsyncRingResult{
+		Elected:     rep.Elected,
+		LeaderIndex: rep.LeaderIndex,
+		Leaders:     rep.Leaders,
+		Messages:    rep.Messages,
+		Time:        rep.Time,
+	}
 }
 
-// ChangRobertsConfig configures a Chang–Roberts run.
+// RunItaiRodehAsync runs the classic Itai–Rodeh election (anonymous,
+// FIFO, Θ(n log n) expected messages).
+//
+// Deprecated: use Run(Env{...}, ItaiRodehAsync{}).
+func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
+	rep, err := Run(Env{
+		Graph:      cfg.Graph,
+		N:          cfg.N,
+		Delay:      cfg.Delay,
+		Links:      cfg.Links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		MaxEvents:  cfg.MaxEvents,
+	}, ItaiRodehAsync{})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+	return asyncRingResult(rep), nil
+}
+
+// ChangRobertsConfig configures a Chang–Roberts (or Peterson) run.
+//
+// Deprecated: state the environment in Env and the identity layout in
+// ChangRoberts/Peterson; run with Run.
 type ChangRobertsConfig = election.ChangRobertsConfig
 
 // ChangRobertsArrangement selects the identity layout.
 type ChangRobertsArrangement = election.ChangRobertsArrangement
 
-// Identity arrangements for Chang–Roberts.
+// Identity arrangements for Chang–Roberts and Peterson.
 const (
 	ArrangementRandom     = election.ArrangementRandom
 	ArrangementAscending  = election.ArrangementAscending
 	ArrangementDescending = election.ArrangementDescending
 )
 
+// changRobertsEnv maps the historical config onto Env.
+func changRobertsEnv(cfg ChangRobertsConfig) Env {
+	return Env{
+		Graph:      cfg.Graph,
+		N:          cfg.N,
+		Delay:      cfg.Delay,
+		Links:      cfg.Links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		MaxEvents:  cfg.MaxEvents,
+	}
+}
+
 // RunChangRoberts runs the identity-based election baseline.
+//
+// Deprecated: use Run(Env{...}, ChangRoberts{...}).
 func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
-	return election.RunChangRoberts(cfg)
+	rep, err := Run(changRobertsEnv(cfg), ChangRoberts{Arrangement: cfg.Arrangement})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+	return asyncRingResult(rep), nil
+}
+
+// RunPeterson runs Peterson's deterministic election baseline (unique
+// identities, FIFO links).
+//
+// Deprecated: use Run(Env{...}, Peterson{...}). This entry point exists
+// for symmetry with the other baselines; new code should call Run.
+func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
+	rep, err := Run(changRobertsEnv(cfg), Peterson{Arrangement: cfg.Arrangement})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
+	return asyncRingResult(rep), nil
 }
 
 // ---- Synchronizers (Section 2, Theorem 1) ----
@@ -209,6 +417,9 @@ const (
 )
 
 // SyncConfig configures a synchronized execution.
+//
+// Deprecated: state the environment in Env and the synchronizer choice in
+// Synchronized; run with Run.
 type SyncConfig = synchronizer.Config
 
 // SyncResult reports a synchronized execution, including the
@@ -227,11 +438,43 @@ type SyncMessage = syncnet.Message
 
 // RunSynchronized executes a synchronous protocol over an asynchronous
 // network via the configured synchronizer.
+//
+// Deprecated: use Run(Env{...}, Synchronized{Kind: ..., MakeNode: ...}).
+// Note Synchronized treats kind 0 as the round synchronizer.
 func RunSynchronized(cfg SyncConfig, makeNode func(i int) SyncProtocol) (SyncResult, error) {
-	return synchronizer.Run(cfg, makeNode)
+	rep, err := Run(Env{
+		Graph:     cfg.Graph,
+		Links:     cfg.Links,
+		Clocks:    cfg.Clocks,
+		Seed:      cfg.Seed,
+		MaxRounds: cfg.MaxRounds,
+		MaxEvents: cfg.MaxEvents,
+	}, Synchronized{
+		Kind:          cfg.Kind,
+		ClusterRadius: cfg.ClusterRadius,
+		Anonymous:     cfg.Anonymous,
+		MakeNode:      makeNode,
+	})
+	if err != nil {
+		return SyncResult{}, err
+	}
+	extra := rep.Extra.(SyncExtra)
+	return SyncResult{
+		Rounds:           rep.Rounds,
+		MinRounds:        extra.MinRounds,
+		Messages:         rep.Messages,
+		PayloadMessages:  extra.PayloadMessages,
+		MessagesPerRound: extra.MessagesPerRound,
+		Time:             rep.Time,
+		Stopped:          extra.Stopped,
+		StopCause:        extra.StopCause,
+	}, nil
 }
 
 // ClockSyncConfig configures the clock-driven ABD synchronizer workload.
+//
+// Deprecated: state the environment in Env and the period/rounds in
+// ClockSync; run with Run.
 type ClockSyncConfig = synchronizer.ClockSyncConfig
 
 // ClockSyncResult reports round violations of the ABD synchronizer.
@@ -239,8 +482,34 @@ type ClockSyncResult = synchronizer.ClockSyncResult
 
 // RunClockSync measures how the zero-message ABD synchronizer behaves on
 // bounded (ABD) versus expected-bounded (ABE) delays.
+//
+// Deprecated: use Run(Env{...}, ClockSync{Period: ..., Rounds: ...}).
+// Unlike ClockSync (whose zero values select defaults), this shim keeps
+// the historical contract that Period and Rounds must be set explicitly.
 func RunClockSync(cfg ClockSyncConfig) (ClockSyncResult, error) {
-	return synchronizer.RunClockSync(cfg)
+	if !(cfg.Period > 0) || math.IsInf(cfg.Period, 0) || math.IsNaN(cfg.Period) {
+		return ClockSyncResult{}, fmt.Errorf("synchronizer: period %g must be positive and finite", cfg.Period)
+	}
+	if cfg.Rounds < 1 {
+		return ClockSyncResult{}, fmt.Errorf("synchronizer: rounds %d must be positive", cfg.Rounds)
+	}
+	rep, err := Run(Env{
+		Graph:  cfg.Graph,
+		Delay:  cfg.Delay,
+		Links:  cfg.Links,
+		Clocks: cfg.Clocks,
+		Seed:   cfg.Seed,
+	}, ClockSync{Period: cfg.Period, Rounds: cfg.Rounds})
+	if err != nil {
+		return ClockSyncResult{}, err
+	}
+	extra := rep.Extra.(ClockSyncExtra)
+	return ClockSyncResult{
+		Messages:    rep.Messages,
+		Violations:  extra.RoundViolations,
+		MaxLateness: extra.MaxLateness,
+		Time:        rep.Time,
+	}, nil
 }
 
 // ---- Model checking ----
@@ -260,6 +529,9 @@ func CheckElection(opts CheckOptions) (CheckReport, error) {
 // ---- Live (goroutine) runtime ----
 
 // LiveElectionConfig configures a real-concurrency election run.
+//
+// Deprecated: state N and Seed in Env and the timing in LiveElection; run
+// with Run.
 type LiveElectionConfig = live.ElectionConfig
 
 // LiveElectionResult reports a real-concurrency election run.
@@ -267,8 +539,24 @@ type LiveElectionResult = live.ElectionResult
 
 // RunLiveElection runs the election on goroutines and channels with real
 // (wall-clock) delays.
+//
+// Deprecated: use Run(Env{N: ..., Seed: ...}, LiveElection{...}).
 func RunLiveElection(cfg LiveElectionConfig) (LiveElectionResult, error) {
-	return live.RunElection(cfg)
+	rep, err := Run(Env{N: cfg.N, Seed: cfg.Seed}, LiveElection{
+		A0:        cfg.A0,
+		MeanDelay: cfg.MeanDelay,
+		TickEvery: cfg.TickEvery,
+		Timeout:   cfg.Timeout,
+	})
+	if err != nil {
+		return LiveElectionResult{}, err
+	}
+	return LiveElectionResult{
+		LeaderIndex: rep.LeaderIndex,
+		Leaders:     rep.Leaders,
+		Messages:    rep.Messages,
+		Elapsed:     rep.Extra.(LiveExtra).Elapsed,
+	}, nil
 }
 
 // ---- Topologies ----
@@ -290,7 +578,9 @@ func Hypercube(dim int) *Graph { return topology.Hypercube(dim) }
 
 // ---- Experiment harness ----
 
-// Sweep runs seeded repetitions over a parameter range in parallel.
+// Sweep runs seeded repetitions over a parameter range in parallel. Run
+// takes a bare func(x, seed) adapter; RunEnv and RunProtocol route through
+// the unified Run entry point instead.
 type Sweep = harness.Sweep
 
 // SweepMetrics is one run's named measurements.

@@ -212,3 +212,120 @@ func TestFacadeParams(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeUnifiedRun(t *testing.T) {
+	// The single-door path: one Env, any protocol.
+	env := abenet.Env{N: 16, Seed: 1}
+	rep, err := abenet.Run(env, abenet.Election{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := abenet.RequireElected(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Protocol != "election" {
+		t.Fatalf("protocol = %q", rep.Protocol)
+	}
+	if _, ok := rep.Extra.(abenet.ElectionExtra); !ok {
+		t.Fatalf("Extra is %T", rep.Extra)
+	}
+
+	// The deprecated shim must agree with the direct Run call exactly.
+	old, err := abenet.RunElection(abenet.ElectionConfig{
+		N: 16, A0: abenet.DefaultA0(16), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.LeaderIndex != rep.LeaderIndex || old.Messages != rep.Messages || old.Time != rep.Time {
+		t.Fatalf("shim diverged from Run:\n shim: %+v\n run:  %+v", old, rep)
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	names := abenet.Protocols()
+	if len(names) == 0 {
+		t.Fatal("empty protocol registry")
+	}
+	p, ok := abenet.ProtocolByName("election")
+	if !ok {
+		t.Fatal("election not registered")
+	}
+	rep, err := abenet.Run(abenet.Env{N: 8, Seed: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Leaders != 1 {
+		t.Fatalf("leaders = %d", rep.Leaders)
+	}
+}
+
+func TestFacadePeterson(t *testing.T) {
+	// Peterson was implemented but never exported before the unified API.
+	rep, err := abenet.Run(abenet.Env{N: 12, Seed: 3}, abenet.Peterson{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := abenet.RequireElected(rep); err != nil {
+		t.Fatal(err)
+	}
+	// Deprecated-style shim, for symmetry with the other baselines.
+	old, err := abenet.RunPeterson(abenet.ChangRobertsConfig{N: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.LeaderIndex != rep.LeaderIndex || old.Messages != rep.Messages {
+		t.Fatalf("shim diverged: %+v vs %+v", old, rep)
+	}
+	// The descending arrangement is Peterson's showcase: it stays
+	// O(n log n) where Chang-Roberts goes quadratic.
+	pet, err := abenet.Run(abenet.Env{N: 32, Seed: 4},
+		abenet.Peterson{Arrangement: abenet.ArrangementDescending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := abenet.Run(abenet.Env{N: 32, Seed: 4},
+		abenet.ChangRoberts{Arrangement: abenet.ArrangementDescending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pet.Messages >= cr.Messages {
+		t.Fatalf("Peterson (%d msgs) should beat Chang-Roberts (%d msgs) on descending rings",
+			pet.Messages, cr.Messages)
+	}
+}
+
+func TestFacadeElectionOnNonRingTopology(t *testing.T) {
+	// The environments the old config structs could not express: the same
+	// election on a hypercube, routed along its embedded Hamiltonian cycle.
+	rep, err := abenet.Run(abenet.Env{Graph: abenet.Hypercube(3), Seed: 5}, abenet.Election{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := abenet.RequireElected(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSweepRunProtocol(t *testing.T) {
+	sweep := abenet.Sweep{Name: "facade-by-name", Repetitions: 10, Seed: 8}
+	points, err := sweep.RunProtocol("itai-rodeh-async", abenet.Env{},
+		[]float64{6, 10}, abenet.RequireElected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Mean("messages") <= 0 {
+		t.Fatalf("unexpected points: %+v", points)
+	}
+}
+
+func TestFacadeClockSyncShimValidation(t *testing.T) {
+	// The deprecated shim keeps the historical contract: zero Period or
+	// Rounds is an error, not a silent default.
+	if _, err := abenet.RunClockSync(abenet.ClockSyncConfig{Graph: abenet.Ring(4), Rounds: 10}); err == nil {
+		t.Fatal("zero period must error")
+	}
+	if _, err := abenet.RunClockSync(abenet.ClockSyncConfig{Graph: abenet.Ring(4), Period: 2}); err == nil {
+		t.Fatal("zero rounds must error")
+	}
+}

@@ -172,3 +172,58 @@ func BenchmarkLiveElection8(b *testing.B) {
 		}
 	}
 }
+
+// ---- Benchmarks through the unified Run path ----
+//
+// These drive the Env/Protocol/Report API directly (CI's bench smoke step
+// records them in BENCH_pr2.json): one canonical election, one non-ring
+// environment, and a registry pass that runs the protocols by name —
+// exactly the code path Sweep.RunProtocol and the CLIs use.
+
+func BenchmarkRunElection64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := abenet.Run(abenet.Env{N: 64, Seed: uint64(i)}, abenet.Election{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Leaders != 1 {
+			b.Fatalf("leaders = %d", rep.Leaders)
+		}
+	}
+}
+
+func BenchmarkRunElectionHypercube64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := abenet.Run(abenet.Env{Graph: abenet.Hypercube(6), Seed: uint64(i)}, abenet.Election{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Leaders != 1 {
+			b.Fatalf("leaders = %d", rep.Leaders)
+		}
+	}
+}
+
+func BenchmarkRunRegistry16(b *testing.B) {
+	// The whole registry on one default environment. live-election is
+	// excluded: it sleeps wall-clock time, which is not what this
+	// throughput benchmark tracks.
+	for i := 0; i < b.N; i++ {
+		for _, name := range abenet.Protocols() {
+			if name == "live-election" {
+				continue
+			}
+			p, ok := abenet.ProtocolByName(name)
+			if !ok {
+				b.Fatalf("%s missing from registry", name)
+			}
+			rep, err := abenet.Run(abenet.Env{N: 16, Seed: uint64(i)}, p)
+			if err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+			if rep.Messages == 0 {
+				b.Fatalf("%s: no messages", name)
+			}
+		}
+	}
+}

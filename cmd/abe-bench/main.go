@@ -2,9 +2,14 @@
 // (E1..E12, DESIGN.md §5), printing each experiment's table and writing
 // CSVs for plotting. EXPERIMENTS.md records a full run's output.
 //
+// With -proto it instead sweeps any registry protocol over network sizes
+// through the unified Env/Protocol API — the generic (protocol × env)
+// door that needs no per-protocol code here at all.
+//
 // Usage:
 //
 //	abe-bench [-quick] [-seed N] [-only E3,E7] [-csv DIR]
+//	abe-bench -proto chang-roberts [-sizes 8,16,32,64] [-reps 50] [-seed N]
 package main
 
 import (
@@ -12,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"abenet"
 	"abenet/internal/experiments"
 )
 
@@ -30,7 +37,14 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "base seed for all repetitions")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	proto := flag.String("proto", "", "sweep this registry protocol by name instead of the experiment suite")
+	sizes := flag.String("sizes", "8,16,32,64", "network sizes for the -proto sweep")
+	reps := flag.Int("reps", 50, "repetitions per size for the -proto sweep")
 	flag.Parse()
+
+	if *proto != "" {
+		return protocolSweep(*proto, *sizes, *reps, *seed)
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -77,6 +91,32 @@ func run() error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiments did not reproduce their claims", failures)
+	}
+	return nil
+}
+
+// protocolSweep runs any registered protocol over the given sizes through
+// the unified API and renders the aggregated points.
+func protocolSweep(name, sizeList string, reps int, seed uint64) error {
+	var xs []float64
+	for _, f := range strings.Split(sizeList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", f, err)
+		}
+		xs = append(xs, float64(v))
+	}
+	sweep := abenet.Sweep{Name: "abe-bench/" + name, Repetitions: reps, Seed: seed}
+	points, err := sweep.RunProtocol(name, abenet.Env{}, xs, nil)
+	if err != nil {
+		return err
+	}
+	table := abenet.PointsTable(fmt.Sprintf("%s over %d seeds per size", name, reps), "n", points)
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	if fit, err := abenet.GrowthExponent(points, "messages"); err == nil {
+		fmt.Printf("\nmessage growth exponent: %.3f (R²=%.4f)\n", fit.Slope, fit.R2)
 	}
 	return nil
 }

@@ -1,11 +1,16 @@
-// Command abe-elect runs one leader election on an anonymous
-// unidirectional ABE ring and reports what happened — optionally with a
-// full message trace.
+// Command abe-elect runs one protocol from the registry on an ABE
+// environment and reports what happened — optionally with a full message
+// trace for the paper's election.
 //
 // Usage:
 //
-//	abe-elect [-n 16] [-a0 0] [-seed 1] [-delay exp|det|uniform|pareto|arq]
-//	          [-mean 1] [-drift 1] [-gamma 0] [-trace] [-check]
+//	abe-elect [-proto election] [-topo ring] [-n 16] [-a0 0] [-seed 1]
+//	          [-delay exp|det|uniform|pareto|arq] [-mean 1] [-drift 1]
+//	          [-gamma 0] [-trace] [-check] [-live]
+//
+// -proto accepts any registered protocol name (see -list); -topo accepts
+// ring, biring, complete or hypercube (ring protocols run along the
+// topology's embedded Hamiltonian cycle).
 package main
 
 import (
@@ -25,68 +30,111 @@ func main() {
 }
 
 func run() error {
-	n := flag.Int("n", 16, "ring size")
-	a0 := flag.Float64("a0", 0, "base activation parameter (0 = balanced default 1/n²)")
+	proto := flag.String("proto", "election", "protocol to run (see -list)")
+	list := flag.Bool("list", false, "list registered protocols and exit")
+	topo := flag.String("topo", "ring", "topology: ring, biring, complete, hypercube")
+	n := flag.Int("n", 16, "network size (hypercube rounds down to a power of two)")
+	a0 := flag.Float64("a0", 0, "election activation parameter (0 = balanced default)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	delayKind := flag.String("delay", "exp", "delay model: exp, det, uniform, pareto, arq")
 	mean := flag.Float64("mean", 1, "expected link delay δ")
 	drift := flag.Float64("drift", 1, "clock speed ratio s_high/s_low (1 = perfect clocks)")
 	gamma := flag.Float64("gamma", 0, "expected processing time γ (0 = instantaneous)")
 	withTrace := flag.Bool("trace", false, "print the full message trace")
-	withCheck := flag.Bool("check", false, "also model-check the protocol exhaustively at this size (n <= 5)")
+	withCheck := flag.Bool("check", false, "also model-check the election exhaustively at this size (n <= 5)")
 	liveMode := flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
 	flag.Parse()
 
-	if *liveMode {
-		res, err := abenet.RunLiveElection(abenet.LiveElectionConfig{
-			N: *n, A0: *a0, Seed: *seed,
-		})
-		if err != nil {
-			return err
+	if *list {
+		for _, name := range abenet.Protocols() {
+			fmt.Println(name)
 		}
-		fmt.Printf("live run on %d goroutines (real concurrency, wall-clock delays)\n", *n)
-		fmt.Printf("leader   : node %d (of %d leaders)\n", res.LeaderIndex, res.Leaders)
-		fmt.Printf("messages : %d\n", res.Messages)
-		fmt.Printf("elapsed  : %s\n", res.Elapsed)
 		return nil
 	}
 
-	cfg := abenet.ElectionConfig{N: *n, A0: *a0, Seed: *seed}
-	if cfg.A0 == 0 {
-		cfg.A0 = abenet.A0ForRing(*n, *mean, 1, 1)
+	env := abenet.Env{Seed: *seed}
+	switch *topo {
+	case "ring":
+		env.N = *n
+	case "biring":
+		env.Graph = abenet.BiRing(*n)
+	case "complete":
+		env.Graph = abenet.Complete(*n)
+	case "hypercube":
+		dim := 0
+		for 1<<(dim+1) <= *n {
+			dim++
+		}
+		env.Graph = abenet.Hypercube(dim)
+	default:
+		return fmt.Errorf("unknown topology %q", *topo)
+	}
+	size := env.N
+	if env.Graph != nil {
+		size = env.Graph.N() // hypercube rounds -n down to a power of two
 	}
 
 	switch *delayKind {
 	case "exp":
-		cfg.Delay = abenet.Exponential(*mean)
+		env.Delay = abenet.Exponential(*mean)
 	case "det":
-		cfg.Delay = abenet.Deterministic(*mean)
+		env.Delay = abenet.Deterministic(*mean)
 	case "uniform":
-		cfg.Delay = abenet.Uniform(0, 2**mean)
+		env.Delay = abenet.Uniform(0, 2**mean)
 	case "pareto":
-		cfg.Delay = abenet.ParetoWithMean(*mean, 2)
+		env.Delay = abenet.ParetoWithMean(*mean, 2)
 	case "arq":
-		// p = 0.5 with slots sized so the mean comes out right.
-		cfg.Links = abenet.ARQLinks(0.5, *mean/2)
+		// p = 0.5 with slots sized so the mean comes out right; declare
+		// δ = slot/p so defaulted parameters (A0) stay balanced.
+		env.Links = abenet.ARQLinks(0.5, *mean/2)
+		env.Delta = *mean
 	default:
 		return fmt.Errorf("unknown delay model %q", *delayKind)
 	}
 	if *drift > 1 {
-		cfg.Clocks = abenet.WanderingClocks(1, *drift, 1)
+		env.Clocks = abenet.WanderingClocks(1, *drift, 1)
 	} else if *drift < 1 {
 		return fmt.Errorf("drift ratio %g must be >= 1", *drift)
 	}
 	if *gamma > 0 {
-		cfg.Processing = abenet.Exponential(*gamma)
+		env.Processing = abenet.Exponential(*gamma)
+	}
+
+	if *liveMode {
+		rep, err := abenet.Run(env, abenet.LiveElection{A0: *a0})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("live run on %d goroutines (real concurrency, wall-clock delays)\n", *n)
+		fmt.Printf("leader   : node %d (of %d leaders)\n", rep.LeaderIndex, rep.Leaders)
+		fmt.Printf("messages : %d\n", rep.Messages)
+		fmt.Printf("elapsed  : %s\n", rep.Extra.(abenet.LiveExtra).Elapsed)
+		return nil
+	}
+
+	protocol, ok := abenet.ProtocolByName(*proto)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (try -list)", *proto)
+	}
+	if *proto == "election" {
+		protocol = abenet.Election{A0: *a0}
 	}
 
 	var rec *trace.Recorder
 	if *withTrace {
+		// Only the event-driven protocols have a message stream to trace.
+		traceable := map[string]bool{
+			"election": true, "itai-rodeh-async": true,
+			"chang-roberts": true, "peterson": true,
+		}
+		if !traceable[*proto] {
+			return fmt.Errorf("-trace is not supported for %q (round-engine and synchronizer protocols have no event stream)", *proto)
+		}
 		rec = trace.NewRecorder(0)
-		cfg.Tracer = rec
+		env.Tracer = rec
 	}
 
-	res, err := abenet.RunElection(cfg)
+	rep, err := abenet.Run(env, protocol)
 	if err != nil {
 		return err
 	}
@@ -98,18 +146,36 @@ func run() error {
 		fmt.Println()
 	}
 
-	fmt.Printf("ring size n         : %d (anonymous, unidirectional)\n", *n)
-	fmt.Printf("activation A0       : %.6g\n", cfg.A0)
-	fmt.Printf("ABE parameters      : δ=%.3g  s∈[%.3g,%.3g]  γ=%.3g\n",
-		res.Params.Delta, res.Params.SLow, res.Params.SHigh, res.Params.Gamma)
-	fmt.Printf("leader              : node %d (of %d leaders)\n", res.LeaderIndex, res.Leaders)
-	fmt.Printf("virtual time        : %.3f\n", res.Time)
-	fmt.Printf("messages            : %d (%.2f per node)\n", res.Messages, float64(res.Messages)/float64(*n))
-	fmt.Printf("transmissions       : %d\n", res.Transmissions)
-	fmt.Printf("activations         : %d\n", res.Activations)
-	fmt.Printf("knockouts           : %d\n", res.Knockouts)
-	if len(res.Violations) > 0 {
-		fmt.Printf("VIOLATIONS          : %v\n", res.Violations)
+	fmt.Printf("protocol            : %s\n", rep.Protocol)
+	fmt.Printf("environment         : %s(%d)\n", *topo, size)
+	if rep.Params != (abenet.Params{}) {
+		fmt.Printf("ABE parameters      : δ=%.3g  s∈[%.3g,%.3g]  γ=%.3g\n",
+			rep.Params.Delta, rep.Params.SLow, rep.Params.SHigh, rep.Params.Gamma)
+	}
+	if rep.Elected || rep.Leaders > 0 {
+		fmt.Printf("leader              : node %d (of %d leaders)\n", rep.LeaderIndex, rep.Leaders)
+	}
+	fmt.Printf("virtual time        : %.3f\n", rep.Time)
+	fmt.Printf("messages            : %d (%.2f per node)\n", rep.Messages, float64(rep.Messages)/float64(size))
+	if rep.Transmissions > 0 {
+		fmt.Printf("transmissions       : %d\n", rep.Transmissions)
+	}
+	if rep.Rounds > 0 {
+		fmt.Printf("rounds              : %d\n", rep.Rounds)
+	}
+	if extra, ok := rep.Extra.(abenet.ElectionExtra); ok {
+		fmt.Printf("activations         : %d\n", extra.Activations)
+		fmt.Printf("knockouts           : %d\n", extra.Knockouts)
+	}
+	if extra, ok := rep.Extra.(abenet.ClockSyncExtra); ok {
+		fmt.Printf("round violations    : %d (rate %.4f, max lateness %d)\n",
+			extra.RoundViolations, extra.ViolationRate, extra.MaxLateness)
+	}
+	if extra, ok := rep.Extra.(abenet.SyncExtra); ok {
+		fmt.Printf("messages per round  : %.1f\n", extra.MessagesPerRound)
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Printf("VIOLATIONS          : %v\n", rep.Violations)
 	}
 
 	if *withCheck {

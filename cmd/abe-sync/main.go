@@ -1,5 +1,6 @@
 // Command abe-sync demonstrates synchronizers on ABE networks and the
-// cost Theorem 1 imposes on them.
+// cost Theorem 1 imposes on them, entirely through the unified
+// Env/Protocol/Report API.
 //
 // Modes:
 //
@@ -14,12 +15,8 @@ import (
 	"os"
 
 	"abenet"
-	"abenet/internal/election"
 	"abenet/internal/experiments"
 	"abenet/internal/harness"
-	"abenet/internal/synchronizer"
-	"abenet/internal/syncnet"
-	"abenet/internal/topology"
 )
 
 func main() {
@@ -51,7 +48,7 @@ func run() error {
 // heartbeat drives the synchronizer with one payload per edge per round.
 type heartbeat struct{ limit int }
 
-func (p *heartbeat) Round(ctx syncnet.NodeContext, round int, _ []syncnet.Message) {
+func (p *heartbeat) Round(ctx abenet.SyncProtocolContext, round int, _ []abenet.SyncMessage) {
 	if round >= p.limit {
 		ctx.StopNetwork("done")
 		return
@@ -68,31 +65,36 @@ func costDemo(seed uint64, rounds int) error {
 	table := harness.NewTable("", "topology", "n", "synchronizer", "msgs/round", "bound n", "meets bound")
 	cases := []struct {
 		name  string
-		graph *topology.Graph
-		kind  synchronizer.Kind
+		graph *abenet.Graph
+		kind  abenet.SyncKind
 	}{
-		{"ring(16)", topology.Ring(16), synchronizer.KindRound},
-		{"ring(64)", topology.Ring(64), synchronizer.KindRound},
-		{"biring(16)", topology.BiRing(16), synchronizer.KindRound},
-		{"complete(8)", topology.Complete(8), synchronizer.KindRound},
-		{"biring(16)", topology.BiRing(16), synchronizer.KindAlpha},
-		{"complete(8)", topology.Complete(8), synchronizer.KindAlpha},
-		{"biring(16)", topology.BiRing(16), synchronizer.KindBeta},
-		{"complete(8)", topology.Complete(8), synchronizer.KindBeta},
-		{"biring(16)", topology.BiRing(16), synchronizer.KindGamma},
-		{"complete(8)", topology.Complete(8), synchronizer.KindGamma},
+		{"ring(16)", abenet.Ring(16), abenet.SyncRound},
+		{"ring(64)", abenet.Ring(64), abenet.SyncRound},
+		{"biring(16)", abenet.BiRing(16), abenet.SyncRound},
+		{"complete(8)", abenet.Complete(8), abenet.SyncRound},
+		{"biring(16)", abenet.BiRing(16), abenet.SyncAlpha},
+		{"complete(8)", abenet.Complete(8), abenet.SyncAlpha},
+		{"biring(16)", abenet.BiRing(16), abenet.SyncBeta},
+		{"complete(8)", abenet.Complete(8), abenet.SyncBeta},
+		{"biring(16)", abenet.BiRing(16), abenet.SyncGamma},
+		{"complete(8)", abenet.Complete(8), abenet.SyncGamma},
 	}
 	for _, c := range cases {
-		res, err := synchronizer.Run(synchronizer.Config{
-			Kind: c.kind, Graph: c.graph, Seed: seed,
-		}, func(int) syncnet.Node { return &heartbeat{limit: rounds} })
+		rep, err := abenet.Run(
+			abenet.Env{Graph: c.graph, Seed: seed},
+			abenet.Synchronized{
+				Kind:     c.kind,
+				MakeNode: func(int) abenet.SyncProtocol { return &heartbeat{limit: rounds} },
+			},
+		)
 		if err != nil {
 			return err
 		}
+		perRound := rep.Extra.(abenet.SyncExtra).MessagesPerRound
 		table.AddRow(c.name, fmt.Sprint(c.graph.N()), c.kind.String(),
-			fmt.Sprintf("%.1f", res.MessagesPerRound),
+			fmt.Sprintf("%.1f", perRound),
 			fmt.Sprint(c.graph.N()),
-			fmt.Sprintf("%v", res.MessagesPerRound >= float64(c.graph.N())))
+			fmt.Sprintf("%v", perRound >= float64(c.graph.N())))
 	}
 	return table.Render(os.Stdout)
 }
@@ -104,23 +106,27 @@ func abdDemo(seed uint64, rounds int) error {
 	fmt.Println()
 	table := harness.NewTable("", "period", "ABD uniform[0,1]", "ABE exp(0.5)")
 	for _, period := range []float64{1.5, 2, 3, 4, 6} {
-		abd, err := abenet.RunClockSync(abenet.ClockSyncConfig{
-			Graph: abenet.Ring(16), Delay: abenet.Uniform(0, 1),
-			Period: period, Rounds: rounds, Seed: seed,
-		})
+		clockSync := func(delay abenet.DelayDist) (abenet.ClockSyncExtra, error) {
+			rep, err := abenet.Run(
+				abenet.Env{N: 16, Delay: delay, Seed: seed},
+				abenet.ClockSync{Period: period, Rounds: rounds},
+			)
+			if err != nil {
+				return abenet.ClockSyncExtra{}, err
+			}
+			return rep.Extra.(abenet.ClockSyncExtra), nil
+		}
+		abd, err := clockSync(abenet.Uniform(0, 1))
 		if err != nil {
 			return err
 		}
-		abe, err := abenet.RunClockSync(abenet.ClockSyncConfig{
-			Graph: abenet.Ring(16), Delay: abenet.Exponential(0.5),
-			Period: period, Rounds: rounds, Seed: seed,
-		})
+		abe, err := clockSync(abenet.Exponential(0.5))
 		if err != nil {
 			return err
 		}
 		table.AddRow(fmt.Sprintf("%g", period),
-			fmt.Sprintf("%d violations (%.3f%%)", abd.Violations, 100*abd.ViolationRate()),
-			fmt.Sprintf("%d violations (%.3f%%)", abe.Violations, 100*abe.ViolationRate()))
+			fmt.Sprintf("%d violations (%.3f%%)", abd.RoundViolations, 100*abd.ViolationRate),
+			fmt.Sprintf("%d violations (%.3f%%)", abe.RoundViolations, 100*abe.ViolationRate))
 	}
 	return table.Render(os.Stdout)
 }
@@ -130,42 +136,23 @@ func electionDemo(seed uint64, n int) error {
 	fmt.Println("message cost by the round count; the native ABE election avoids that:")
 	fmt.Println()
 
-	native, err := abenet.RunElection(abenet.ElectionConfig{
-		N: n, A0: abenet.DefaultA0(n), Seed: seed,
-	})
+	env := abenet.Env{N: n, Seed: seed}
+	native, err := abenet.Run(env, abenet.Election{})
 	if err != nil {
 		return err
 	}
 
-	nodes := make([]*election.ItaiRodehSyncNode, n)
-	synced, err := synchronizer.Run(synchronizer.Config{
-		Kind:      synchronizer.KindRound,
-		Graph:     topology.Ring(n),
-		Seed:      seed,
-		Anonymous: true,
-		MaxRounds: 100_000,
-	}, func(i int) syncnet.Node {
-		node, err := election.NewItaiRodehSyncNode(n, 1/float64(n))
-		if err != nil {
-			panic(err) // validated; unreachable
-		}
-		nodes[i] = node
-		return node
-	})
+	syncEnv := env
+	syncEnv.MaxRounds = 100_000
+	synced, err := abenet.Run(syncEnv, abenet.SynchronizedElection{})
 	if err != nil {
 		return err
-	}
-	leaders := 0
-	for _, node := range nodes {
-		if node.IsLeader() {
-			leaders++
-		}
 	}
 
 	table := harness.NewTable("", "approach", "messages", "leaders", "notes")
 	table.AddRow("native ABE election", fmt.Sprint(native.Messages), fmt.Sprint(native.Leaders),
 		fmt.Sprintf("%.2f msgs/node", float64(native.Messages)/float64(n)))
-	table.AddRow("Itai-Rodeh sync over round synchronizer", fmt.Sprint(synced.Messages), fmt.Sprint(leaders),
+	table.AddRow("Itai-Rodeh sync over round synchronizer", fmt.Sprint(synced.Messages), fmt.Sprint(synced.Leaders),
 		fmt.Sprintf("%d rounds x %d msgs/round", synced.Rounds, n))
 	if err := table.Render(os.Stdout); err != nil {
 		return err

@@ -53,16 +53,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := abenet.ElectionConfig{
+	// The whole deployment is one Env: links, clocks, processing, seed.
+	env := abenet.Env{
 		N:          n,
-		A0:         abenet.A0ForRing(n, declared.Delta, 1, 1),
 		Links:      channel.HeterogeneousFactory(linkFor),
 		Clocks:     abenet.WanderingClocks(0.75, 1.25, 2),
 		Processing: abenet.Exponential(0.05),
 		Seed:       7,
 	}
+	proto := abenet.Election{A0: abenet.A0ForRing(n, declared.Delta, 1, 1)}
 
-	res, err := abenet.RunElection(cfg)
+	res, err := abenet.Run(env, proto)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,25 +83,12 @@ func main() {
 	fmt.Printf("\ncoordinator elected: node %d (%d leader)\n", res.LeaderIndex, res.Leaders)
 	fmt.Printf("messages: %d, time: %.1f units\n", res.Messages, res.Time)
 
-	// Average behaviour over many deployments.
+	// Average behaviour over many deployments: the sweep reuses the same
+	// (env, protocol) pair and injects per-repetition seeds.
 	sweep := abenet.Sweep{Name: "adhoc", Repetitions: 60, Seed: 99}
-	points, err := sweep.Run([]float64{n}, func(_ float64, seed uint64) (abenet.SweepMetrics, error) {
-		r, err := abenet.RunElection(abenet.ElectionConfig{
-			N:          n,
-			A0:         cfg.A0,
-			Links:      channel.HeterogeneousFactory(linkFor),
-			Clocks:     cfg.Clocks,
-			Processing: cfg.Processing,
-			Seed:       seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if r.Leaders != 1 {
-			return nil, fmt.Errorf("%d leaders", r.Leaders)
-		}
-		return abenet.SweepMetrics{"messages": float64(r.Messages), "time": r.Time}, nil
-	})
+	points, err := sweep.RunEnv([]float64{n}, func(float64) (abenet.Env, abenet.Protocol, error) {
+		return env, proto, nil
+	}, abenet.RequireElected)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,16 @@
 // Quickstart: elect a leader on an anonymous unidirectional ABE ring.
 //
-// The network is the paper's canonical setting: n nodes in a one-way ring,
-// no identities, exponential link delays with known expected delay δ = 1,
-// perfect clocks. The algorithm is parameterised only by the known ring
-// size n and the base activation parameter A0.
+// The library's API has three pieces, mirroring the paper's separation of
+// network and algorithm:
+//
+//   - Env states the ABE environment (Definition 1) once: topology, link
+//     delays (δ), clock speeds ([s_low, s_high]), processing times (γ),
+//     and the seed.
+//   - A Protocol bundles one algorithm with its options — here Election,
+//     the paper's probabilistic leader election. Zero values select
+//     balanced defaults.
+//   - Run executes any protocol on any environment and returns a common
+//     Report.
 //
 // Run with:
 //
@@ -20,41 +27,43 @@ import (
 func main() {
 	const n = 32
 
-	// A0 = 1/n² balances waiting time against knockout collisions; see
+	// The paper's canonical setting: n nodes in a one-way ring, no
+	// identities, exponential link delays with known expected delay δ = 1,
+	// perfect clocks. Election{} defaults A0 to the balanced 1/n² — see
 	// abenet.A0ForRing for the derivation.
-	cfg := abenet.ElectionConfig{
-		N:    n,
-		A0:   abenet.DefaultA0(n),
-		Seed: 42,
-	}
+	env := abenet.Env{N: n, Delay: abenet.Exponential(1), Seed: 42}
 
-	res, err := abenet.RunElection(cfg)
+	rep, err := abenet.Run(env, abenet.Election{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("elected node %d on an anonymous ring of %d\n", res.LeaderIndex, n)
-	fmt.Printf("  virtual time : %.2f time units (δ = 1)\n", res.Time)
+	extra := rep.Extra.(abenet.ElectionExtra)
+	fmt.Printf("elected node %d on an anonymous ring of %d\n", rep.LeaderIndex, n)
+	fmt.Printf("  virtual time : %.2f time units (δ = 1)\n", rep.Time)
 	fmt.Printf("  messages     : %d (%.2f per node — the paper's linear average)\n",
-		res.Messages, float64(res.Messages)/n)
+		rep.Messages, float64(rep.Messages)/n)
 	fmt.Printf("  activations  : %d candidate wake-ups, %d knocked out\n",
-		res.Activations, res.Knockouts)
+		extra.Activations, extra.Knockouts)
 
-	// Averages need repetition: run 100 seeds and report the mean.
-	sweep := abenet.Sweep{Name: "quickstart", Repetitions: 100, Seed: 7}
-	points, err := sweep.Run([]float64{n}, func(_ float64, seed uint64) (abenet.SweepMetrics, error) {
-		r, err := abenet.RunElection(abenet.ElectionConfig{N: n, A0: abenet.DefaultA0(n), Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		return abenet.SweepMetrics{"messages": float64(r.Messages), "time": r.Time}, nil
-	})
+	// The same election runs unchanged on any topology embedding a ring —
+	// here a hypercube; messages travel its Hamiltonian cycle.
+	cube, err := abenet.Run(abenet.Env{Graph: abenet.Hypercube(5), Seed: 42}, abenet.Election{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	msgs := points[0].Samples["messages"]
-	times := points[0].Samples["time"]
+	fmt.Printf("\nsame protocol on a hypercube(5): node %d won with %d messages\n",
+		cube.LeaderIndex, cube.Messages)
+
+	// Averages need repetition. Protocols are registered by name, so a
+	// sweep needs no adapter code: x is the ring size, seeds are derived
+	// deterministically per repetition.
+	sweep := abenet.Sweep{Name: "quickstart", Repetitions: 100, Seed: 7}
+	points, err := sweep.RunProtocol("election", abenet.Env{}, []float64{n}, abenet.RequireElected)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nover 100 seeded runs:\n")
-	fmt.Printf("  mean messages : %s\n", msgs)
-	fmt.Printf("  mean time     : %s\n", times)
+	fmt.Printf("  mean messages : %s\n", points[0].Samples["messages"])
+	fmt.Printf("  mean time     : %s\n", points[0].Samples["time"])
 }

@@ -36,12 +36,10 @@ func main() {
 	fmt.Printf("per-attempt success p=%.1f, slot=%.2f  =>  δ = slot/p = %.3f\n\n", p, slot, delta)
 
 	fmt.Println("== part 2: cluster-head election over the lossy radios ==")
-	res, err := abenet.RunElection(abenet.ElectionConfig{
-		N:     n,
-		A0:    abenet.A0ForRing(n, delta, 1, 1),
-		Links: abenet.ARQLinks(p, slot),
-		Seed:  2026,
-	})
+	res, err := abenet.Run(
+		abenet.Env{N: n, Links: abenet.ARQLinks(p, slot), Seed: 2026},
+		abenet.Election{A0: abenet.A0ForRing(n, delta, 1, 1)},
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,31 +53,18 @@ func main() {
 	fmt.Println("== part 3: the same election across radio qualities ==")
 	fmt.Printf("%-6s  %-10s  %-14s  %-12s\n", "p", "δ=slot/p", "transmissions", "time")
 	for _, quality := range []float64{0.9, 0.6, 0.4, 0.2} {
+		quality := quality
 		d := slot / quality
 		sweep := abenet.Sweep{Name: fmt.Sprintf("sensornet-p%.1f", quality), Repetitions: 40, Seed: 5}
-		points, err := sweep.Run([]float64{quality}, func(_ float64, seed uint64) (abenet.SweepMetrics, error) {
-			r, err := abenet.RunElection(abenet.ElectionConfig{
-				N:     n,
-				A0:    abenet.A0ForRing(n, d, 1, 1),
-				Links: abenet.ARQLinks(quality, slot),
-				Seed:  seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if r.Leaders != 1 {
-				return nil, fmt.Errorf("p=%g: %d leaders", quality, r.Leaders)
-			}
-			return abenet.SweepMetrics{
-				"tx":   float64(r.Transmissions),
-				"time": r.Time,
-			}, nil
-		})
+		points, err := sweep.RunEnv([]float64{quality}, func(float64) (abenet.Env, abenet.Protocol, error) {
+			return abenet.Env{N: n, Links: abenet.ARQLinks(quality, slot)},
+				abenet.Election{A0: abenet.A0ForRing(n, d, 1, 1)}, nil
+		}, abenet.RequireElected)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-6.1f  %-10.3f  %-14.1f  %-12.1f\n",
-			quality, d, points[0].Mean("tx"), points[0].Mean("time"))
+			quality, d, points[0].Mean("transmissions"), points[0].Mean("time"))
 	}
 	fmt.Println("\nworse radios stretch δ and the election time, but correctness and")
 	fmt.Println("the linear message budget survive — only the *expected* delay matters.")

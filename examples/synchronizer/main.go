@@ -1,15 +1,17 @@
-// Synchronizer: Theorem 1 in action.
+// Synchronizer: Theorem 1 in action, through the unified API.
 //
 // "ABE networks of size n cannot be synchronised with fewer than n
 // messages per round" — so running synchronous algorithms on an ABE
 // network destroys their message complexity. This example measures all
-// three sides of that statement:
+// three sides of that statement with one Env and three protocols:
 //
-//  1. message-driven synchronizers pay ≥ n messages every round;
-//  2. the zero-message clock-driven (ABD) alternative silently breaks
-//     rounds on ABE delays;
-//  3. a synchronous election run through a synchronizer costs a large
-//     multiple of the native ABE election on the identical network.
+//  1. message-driven synchronizers (Synchronized) pay ≥ n messages every
+//     round;
+//  2. the zero-message clock-driven alternative (ClockSync) silently
+//     breaks rounds on ABE delays;
+//  3. a synchronous election run through a synchronizer
+//     (SynchronizedElection) costs a large multiple of the native ABE
+//     election (Election) on the identical network.
 //
 // Run with:
 //
@@ -22,17 +24,13 @@ import (
 	"os"
 
 	"abenet"
-	"abenet/internal/election"
 	"abenet/internal/harness"
-	"abenet/internal/synchronizer"
-	"abenet/internal/syncnet"
-	"abenet/internal/topology"
 )
 
 // pulse sends one payload per edge per round, for limit rounds.
 type pulse struct{ limit int }
 
-func (p *pulse) Round(ctx syncnet.NodeContext, round int, _ []syncnet.Message) {
+func (p *pulse) Round(ctx abenet.SyncProtocolContext, round int, _ []abenet.SyncMessage) {
 	if round >= p.limit {
 		ctx.StopNetwork("done")
 		return
@@ -48,22 +46,26 @@ func main() {
 	fmt.Println("== 1. every synchronised round costs at least n messages ==")
 	table := harness.NewTable("", "synchronizer", "topology", "msgs/round", "Theorem 1 bound")
 	for _, c := range []struct {
-		kind  synchronizer.Kind
+		kind  abenet.SyncKind
 		name  string
-		graph *topology.Graph
+		graph *abenet.Graph
 	}{
-		{synchronizer.KindRound, "ring(16)", topology.Ring(n)},
-		{synchronizer.KindRound, "biring(16)", topology.BiRing(n)},
-		{synchronizer.KindAlpha, "biring(16)", topology.BiRing(n)},
+		{abenet.SyncRound, "ring(16)", abenet.Ring(n)},
+		{abenet.SyncRound, "biring(16)", abenet.BiRing(n)},
+		{abenet.SyncAlpha, "biring(16)", abenet.BiRing(n)},
 	} {
-		res, err := synchronizer.Run(synchronizer.Config{
-			Kind: c.kind, Graph: c.graph, Seed: 1,
-		}, func(int) syncnet.Node { return &pulse{limit: 40} })
+		rep, err := abenet.Run(
+			abenet.Env{Graph: c.graph, Seed: 1},
+			abenet.Synchronized{
+				Kind:     c.kind,
+				MakeNode: func(int) abenet.SyncProtocol { return &pulse{limit: 40} },
+			},
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		table.AddRow(c.kind.String(), c.name,
-			fmt.Sprintf("%.1f", res.MessagesPerRound), fmt.Sprint(n))
+			fmt.Sprintf("%.1f", rep.Extra.(abenet.SyncExtra).MessagesPerRound), fmt.Sprint(n))
 	}
 	if err := table.Render(os.Stdout); err != nil {
 		log.Fatal(err)
@@ -71,46 +73,35 @@ func main() {
 
 	fmt.Println("\n== 2. the zero-message ABD synchronizer breaks on ABE delays ==")
 	for _, period := range []float64{2, 4} {
-		abd, err := abenet.RunClockSync(abenet.ClockSyncConfig{
-			Graph: abenet.Ring(n), Delay: abenet.Uniform(0, 1),
-			Period: period, Rounds: 300, Seed: 1,
-		})
+		abd, err := abenet.Run(
+			abenet.Env{N: n, Delay: abenet.Uniform(0, 1), Seed: 1},
+			abenet.ClockSync{Period: period, Rounds: 300},
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		abe, err := abenet.RunClockSync(abenet.ClockSyncConfig{
-			Graph: abenet.Ring(n), Delay: abenet.Exponential(0.5),
-			Period: period, Rounds: 300, Seed: 1,
-		})
+		abe, err := abenet.Run(
+			abenet.Env{N: n, Delay: abenet.Exponential(0.5), Seed: 1},
+			abenet.ClockSync{Period: period, Rounds: 300},
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		abdX := abd.Extra.(abenet.ClockSyncExtra)
+		abeX := abe.Extra.(abenet.ClockSyncExtra)
 		fmt.Printf("period %.0f: bounded delays %d violations; ABE delays %d violations (%.2f%%)\n",
-			period, abd.Violations, abe.Violations, 100*abe.ViolationRate())
+			period, abdX.RoundViolations, abeX.RoundViolations, 100*abeX.ViolationRate)
 	}
 
 	fmt.Println("\n== 3. synchronous election via synchronizer vs native ABE election ==")
-	native, err := abenet.RunElection(abenet.ElectionConfig{
-		N: n, A0: abenet.DefaultA0(n), Seed: 3,
-	})
+	env := abenet.Env{N: n, Seed: 3}
+	native, err := abenet.Run(env, abenet.Election{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	nodes := make([]*election.ItaiRodehSyncNode, n)
-	synced, err := synchronizer.Run(synchronizer.Config{
-		Kind:      synchronizer.KindRound,
-		Graph:     topology.Ring(n),
-		Seed:      3,
-		Anonymous: true,
-		MaxRounds: 100_000,
-	}, func(i int) syncnet.Node {
-		node, err := election.NewItaiRodehSyncNode(n, 1.0/float64(n))
-		if err != nil {
-			panic(err) // parameters validated above; unreachable
-		}
-		nodes[i] = node
-		return node
-	})
+	syncEnv := env
+	syncEnv.MaxRounds = 100_000
+	synced, err := abenet.Run(syncEnv, abenet.SynchronizedElection{})
 	if err != nil {
 		log.Fatal(err)
 	}

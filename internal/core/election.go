@@ -100,6 +100,7 @@ type ElectionNode struct {
 	tickInterval float64
 	stopOnLeader bool
 	constantAct  bool
+	sendPort     int
 
 	state State
 	d     int
@@ -132,6 +133,10 @@ type ElectionNodeConfig struct {
 	// remains correct but loses the constant overall wake-up rate that
 	// gives the algorithm its linear complexity.
 	ConstantActivation bool
+	// SendPort is the out-port leading to the node's ring successor. On
+	// the unidirectional ring it is 0; on richer topologies it is the port
+	// of the embedded Hamiltonian cycle (topology.RingEmbedding).
+	SendPort int
 }
 
 // NewElectionNode validates the configuration and returns a node in the
@@ -149,12 +154,16 @@ func NewElectionNode(cfg ElectionNodeConfig) (*ElectionNode, error) {
 	if cfg.TickInterval == 0 {
 		cfg.TickInterval = 1
 	}
+	if cfg.SendPort < 0 {
+		return nil, fmt.Errorf("core: send port %d must be non-negative", cfg.SendPort)
+	}
 	return &ElectionNode{
 		ringSize:     cfg.RingSize,
 		a0:           cfg.A0,
 		tickInterval: cfg.TickInterval,
 		stopOnLeader: cfg.StopOnLeader,
 		constantAct:  cfg.ConstantActivation,
+		sendPort:     cfg.SendPort,
 		state:        Idle,
 		d:            1,
 	}, nil
@@ -196,7 +205,7 @@ func (e *ElectionNode) OnTimer(ctx *network.Context, kind int) {
 	if ctx.Rand().Bool(e.ActivationProbability()) {
 		e.state = Active
 		e.Activations++
-		ctx.Send(0, HopMessage{Hop: 1})
+		ctx.Send(e.sendPort, HopMessage{Hop: 1})
 	}
 }
 
@@ -221,10 +230,10 @@ func (e *ElectionNode) OnMessage(ctx *network.Context, _ int, payload any) {
 	case Idle:
 		e.state = Passive
 		e.Relays++
-		ctx.Send(0, HopMessage{Hop: e.d + 1})
+		ctx.Send(e.sendPort, HopMessage{Hop: e.d + 1})
 	case Passive:
 		e.Relays++
-		ctx.Send(0, HopMessage{Hop: e.d + 1})
+		ctx.Send(e.sendPort, HopMessage{Hop: e.d + 1})
 	case Active:
 		if msg.Hop == e.ringSize {
 			e.state = Leader

@@ -14,8 +14,14 @@ import (
 // ElectionConfig describes one complete election experiment: the ring, the
 // ABE environment, the algorithm parameters and the run bounds.
 type ElectionConfig struct {
-	// N is the ring size (>= 2).
+	// N is the ring size (>= 2). When Graph is set, N must be 0 or equal
+	// to the graph's size.
 	N int
+	// Graph optionally replaces the default unidirectional ring with any
+	// topology embedding a directed Hamiltonian cycle (BiRing, Complete,
+	// Hypercube, ...). The election runs along the embedded cycle; the
+	// remaining edges carry no traffic. Nil means topology.Ring(N).
+	Graph *topology.Graph
 	// A0 is the base activation parameter, in (0, 1).
 	A0 float64
 	// Delay is the per-link message delay distribution. Nil means
@@ -82,8 +88,27 @@ type ElectionResult struct {
 // the paper's election algorithm on it until a leader is elected (or the
 // configured bounds are hit).
 func RunElection(cfg ElectionConfig) (ElectionResult, error) {
-	if cfg.N < 2 {
-		return ElectionResult{}, fmt.Errorf("core: ring size %d must be at least 2", cfg.N)
+	graph := cfg.Graph
+	n := cfg.N
+	var sendPorts []int
+	if graph != nil {
+		if n != 0 && n != graph.N() {
+			return ElectionResult{}, fmt.Errorf("core: N = %d disagrees with graph size %d", n, graph.N())
+		}
+		n = graph.N()
+		if n < 2 {
+			return ElectionResult{}, fmt.Errorf("core: ring size %d must be at least 2", n)
+		}
+		ports, err := graph.RingEmbedding()
+		if err != nil {
+			return ElectionResult{}, fmt.Errorf("core: %w", err)
+		}
+		sendPorts = ports
+	} else {
+		if n < 2 {
+			return ElectionResult{}, fmt.Errorf("core: ring size %d must be at least 2", n)
+		}
+		graph = topology.Ring(n)
 	}
 	links := cfg.Links
 	if links == nil {
@@ -105,10 +130,10 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		maxEvents = 50_000_000
 	}
 
-	nodes := make([]*ElectionNode, cfg.N)
+	nodes := make([]*ElectionNode, n)
 	var buildErr error
 	net, err := network.New(network.Config{
-		Graph:      topology.Ring(cfg.N),
+		Graph:      graph,
 		Links:      links,
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
@@ -116,12 +141,17 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Anonymous:  true,
 		Tracer:     cfg.Tracer,
 	}, func(i int) network.Node {
+		sendPort := 0
+		if sendPorts != nil {
+			sendPort = sendPorts[i]
+		}
 		node, err := NewElectionNode(ElectionNodeConfig{
-			RingSize:           cfg.N,
+			RingSize:           n,
 			A0:                 cfg.A0,
 			TickInterval:       cfg.TickInterval,
 			StopOnLeader:       !cfg.KeepRunning,
 			ConstantActivation: cfg.ConstantActivation,
+			SendPort:           sendPort,
 		})
 		if err != nil {
 			buildErr = err

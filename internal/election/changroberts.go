@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abenet/internal/channel"
+	"abenet/internal/clock"
 	"abenet/internal/dist"
 	"abenet/internal/network"
 	"abenet/internal/rng"
@@ -27,9 +28,10 @@ type crMessage struct {
 // Θ(n²). It contrasts the paper's anonymous Θ(n) algorithm with what
 // unique identities alone achieve on the same asynchronous ring.
 type ChangRobertsNode struct {
-	id     int
-	active bool
-	leader bool
+	id       int
+	sendPort int
+	active   bool
+	leader   bool
 }
 
 var _ network.Node = (*ChangRobertsNode)(nil)
@@ -45,7 +47,7 @@ func (p *ChangRobertsNode) IsLeader() bool { return p.leader }
 
 // Init implements network.Node: announce candidacy.
 func (p *ChangRobertsNode) Init(ctx *network.Context) {
-	ctx.Send(0, crMessage{ID: p.id})
+	ctx.Send(p.sendPort, crMessage{ID: p.id})
 }
 
 // OnTimer implements network.Node; the algorithm is purely message-driven.
@@ -59,10 +61,10 @@ func (p *ChangRobertsNode) OnMessage(ctx *network.Context, _ int, payload any) {
 	}
 	switch {
 	case !p.active:
-		ctx.Send(0, m)
+		ctx.Send(p.sendPort, m)
 	case m.ID > p.id:
 		p.active = false
-		ctx.Send(0, m)
+		ctx.Send(p.sendPort, m)
 	case m.ID == p.id:
 		p.leader = true
 		ctx.StopNetwork("leader elected")
@@ -85,41 +87,60 @@ const (
 	ArrangementDescending
 )
 
-// ChangRobertsConfig configures a Chang–Roberts run.
+// ChangRobertsConfig configures a Chang–Roberts (or Peterson) run.
 type ChangRobertsConfig struct {
-	N           int
+	N           int                     // ring size; with Graph set it must be 0 or the graph's size
+	Graph       *topology.Graph         // optional non-ring topology (Hamiltonian embedding); nil = Ring(N)
 	Arrangement ChangRobertsArrangement // 0 means ArrangementRandom
 	Delay       dist.Dist               // nil means Exponential(1)
+	Links       channel.Factory         // optional override of Delay (FIFO discipline is the caller's concern)
+	Clocks      clock.Model             // nil means perfect clocks
+	Processing  dist.Dist               // nil means instantaneous
 	Seed        uint64
-	MaxEvents   uint64 // 0 means 50e6
+	MaxEvents   uint64         // 0 means 50e6
+	Tracer      network.Tracer // optional run observer
+}
+
+// asyncRing converts to the shared resolution config.
+func (cfg ChangRobertsConfig) asyncRing() AsyncRingConfig {
+	return AsyncRingConfig{N: cfg.N, Graph: cfg.Graph}
 }
 
 // RunChangRoberts runs the Chang–Roberts election on a unidirectional ring
 // with unique identities.
 func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
-	if cfg.N < 2 {
-		return AsyncRingResult{}, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+	graph, n, ports, err := cfg.asyncRing().resolve()
+	if err != nil {
+		return AsyncRingResult{}, err
 	}
-	delay := cfg.Delay
-	if delay == nil {
-		delay = dist.NewExponential(1)
+	links := cfg.Links
+	if links == nil {
+		delay := cfg.Delay
+		if delay == nil {
+			delay = dist.NewExponential(1)
+		}
+		links = channel.RandomDelayFactory(delay)
 	}
 	maxEvents := cfg.MaxEvents
 	if maxEvents == 0 {
 		maxEvents = 50_000_000
 	}
-	ids, err := identityArrangement(cfg.N, cfg.Arrangement, cfg.Seed)
+	ids, err := identityArrangement(n, cfg.Arrangement, cfg.Seed)
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
 
-	nodes := make([]*ChangRobertsNode, cfg.N)
+	nodes := make([]*ChangRobertsNode, n)
 	net, err := network.New(network.Config{
-		Graph: topology.Ring(cfg.N),
-		Links: channel.RandomDelayFactory(delay),
-		Seed:  cfg.Seed,
+		Graph:      graph,
+		Links:      links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		Tracer:     cfg.Tracer,
 	}, func(i int) network.Node {
 		nodes[i] = NewChangRobertsNode(ids[i])
+		nodes[i].sendPort = sendPortAt(ports, i)
 		return nodes[i]
 	})
 	if err != nil {

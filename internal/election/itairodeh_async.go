@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abenet/internal/channel"
+	"abenet/internal/clock"
 	"abenet/internal/dist"
 	"abenet/internal/network"
 	"abenet/internal/simtime"
@@ -32,6 +33,7 @@ type iraMessage struct {
 // against. FIFO links are required for correctness.
 type ItaiRodehAsyncNode struct {
 	ringSize int
+	sendPort int
 
 	active bool
 	leader bool
@@ -64,7 +66,7 @@ func (p *ItaiRodehAsyncNode) startRound(ctx *network.Context) {
 	p.round++
 	p.RoundsStarted++
 	p.id = 1 + ctx.Rand().Intn(p.ringSize)
-	ctx.Send(0, iraMessage{ID: p.id, Hop: 1, Round: p.round, Dirty: false})
+	ctx.Send(p.sendPort, iraMessage{ID: p.id, Hop: 1, Round: p.round, Dirty: false})
 }
 
 // OnTimer implements network.Node; the algorithm is purely message-driven.
@@ -77,14 +79,14 @@ func (p *ItaiRodehAsyncNode) OnMessage(ctx *network.Context, _ int, payload any)
 		panic(fmt.Sprintf("election: foreign payload %T on Itai-Rodeh ring", payload))
 	}
 	if !p.active {
-		ctx.Send(0, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: m.Dirty})
+		ctx.Send(p.sendPort, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: m.Dirty})
 		return
 	}
 	// Active: compare (round, id) lexicographically.
 	switch {
 	case m.Round > p.round || (m.Round == p.round && m.ID > p.id):
 		p.active = false
-		ctx.Send(0, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: m.Dirty})
+		ctx.Send(p.sendPort, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: m.Dirty})
 	case m.Round < p.round || (m.Round == p.round && m.ID < p.id):
 		// Purge: our token dominates this one.
 	case m.Hop == p.ringSize:
@@ -98,21 +100,68 @@ func (p *ItaiRodehAsyncNode) OnMessage(ctx *network.Context, _ int, payload any)
 	default:
 		// Same round and identity but not ours (hop < n): an identity
 		// clash; mark it dirty and pass it on.
-		ctx.Send(0, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: true})
+		ctx.Send(p.sendPort, iraMessage{ID: m.ID, Hop: m.Hop + 1, Round: m.Round, Dirty: true})
 	}
 }
 
 // AsyncRingConfig configures an asynchronous ring election baseline run.
 type AsyncRingConfig struct {
-	// N is the ring size.
+	// N is the ring size. When Graph is set, N must be 0 or equal to the
+	// graph's size.
 	N int
+	// Graph optionally replaces the unidirectional ring with any topology
+	// embedding a directed Hamiltonian cycle; the election runs along the
+	// cycle. Nil means topology.Ring(N).
+	Graph *topology.Graph
 	// Delay is the link delay distribution; nil means Exponential(1),
 	// matching the ABE experiments.
 	Delay dist.Dist
+	// Links optionally overrides Delay with a full link factory. The
+	// algorithm's channel discipline (FIFO for Itai–Rodeh async and
+	// Peterson) is then the caller's responsibility.
+	Links channel.Factory
+	// Clocks is the local clock model; nil means perfect clocks.
+	Clocks clock.Model
+	// Processing is the event-processing time model (γ); nil means
+	// instantaneous.
+	Processing dist.Dist
 	// Seed drives the run.
 	Seed uint64
 	// MaxEvents guards against livelock; 0 means 50e6.
 	MaxEvents uint64
+	// Tracer optionally observes the run; nil disables tracing.
+	Tracer network.Tracer
+}
+
+// resolve normalises the config into a concrete graph, ring size and
+// per-node successor ports (nil on the natural ring).
+func (cfg AsyncRingConfig) resolve() (*topology.Graph, int, []int, error) {
+	if cfg.Graph == nil {
+		if cfg.N < 2 {
+			return nil, 0, nil, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+		}
+		return topology.Ring(cfg.N), cfg.N, nil, nil
+	}
+	n := cfg.Graph.N()
+	if cfg.N != 0 && cfg.N != n {
+		return nil, 0, nil, fmt.Errorf("election: N = %d disagrees with graph size %d", cfg.N, n)
+	}
+	if n < 2 {
+		return nil, 0, nil, fmt.Errorf("election: ring size %d must be at least 2", n)
+	}
+	ports, err := cfg.Graph.RingEmbedding()
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("election: %w", err)
+	}
+	return cfg.Graph, n, ports, nil
+}
+
+// sendPortAt returns the successor port for node i (0 on natural rings).
+func sendPortAt(ports []int, i int) int {
+	if ports == nil {
+		return 0
+	}
+	return ports[i]
 }
 
 // AsyncRingResult summarises an asynchronous baseline run.
@@ -128,30 +177,39 @@ type AsyncRingResult struct {
 // anonymous unidirectional ring with FIFO links (the algorithm's channel
 // assumption).
 func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
-	if cfg.N < 2 {
-		return AsyncRingResult{}, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+	graph, n, ports, err := cfg.resolve()
+	if err != nil {
+		return AsyncRingResult{}, err
 	}
-	delay := cfg.Delay
-	if delay == nil {
-		delay = dist.NewExponential(1)
+	links := cfg.Links
+	if links == nil {
+		delay := cfg.Delay
+		if delay == nil {
+			delay = dist.NewExponential(1)
+		}
+		links = channel.FIFOFactory(delay)
 	}
 	maxEvents := cfg.MaxEvents
 	if maxEvents == 0 {
 		maxEvents = 50_000_000
 	}
-	nodes := make([]*ItaiRodehAsyncNode, cfg.N)
+	nodes := make([]*ItaiRodehAsyncNode, n)
 	var buildErr error
 	net, err := network.New(network.Config{
-		Graph:     topology.Ring(cfg.N),
-		Links:     channel.FIFOFactory(delay),
-		Seed:      cfg.Seed,
-		Anonymous: true,
+		Graph:      graph,
+		Links:      links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		Anonymous:  true,
+		Tracer:     cfg.Tracer,
 	}, func(i int) network.Node {
-		node, err := NewItaiRodehAsyncNode(cfg.N)
+		node, err := NewItaiRodehAsyncNode(n)
 		if err != nil {
 			buildErr = err
 			return brokenAsyncNode{}
 		}
+		node.sendPort = sendPortAt(ports, i)
 		nodes[i] = node
 		return node
 	})

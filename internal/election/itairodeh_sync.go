@@ -51,6 +51,7 @@ type irsToken struct {
 type ItaiRodehSyncNode struct {
 	ringSize int
 	q        float64
+	sendPort int
 
 	role      irsRole
 	collision bool
@@ -78,6 +79,12 @@ func NewItaiRodehSyncNode(n int, q float64) (*ItaiRodehSyncNode, error) {
 // IsLeader reports whether this node won the election.
 func (p *ItaiRodehSyncNode) IsLeader() bool { return p.role == irsLeader }
 
+// SetSendPort sets the out-port leading to the node's ring successor (0 on
+// the natural ring). Callers embedding the node in a non-ring topology —
+// e.g. over a synchronizer — must set the port from the graph's
+// RingEmbedding before the run starts.
+func (p *ItaiRodehSyncNode) SetSendPort(port int) { p.sendPort = port }
+
 // Round implements syncnet.Node.
 func (p *ItaiRodehSyncNode) Round(ctx syncnet.NodeContext, round int, inbox []syncnet.Message) {
 	phaseLen := p.ringSize + 1
@@ -98,7 +105,7 @@ func (p *ItaiRodehSyncNode) Round(ctx syncnet.NodeContext, round int, inbox []sy
 			// Foreign token: at least two candidates this phase.
 			p.collision = true // token purged
 		default:
-			ctx.Send(0, irsToken{Hop: token.Hop + 1})
+			ctx.Send(p.sendPort, irsToken{Hop: token.Hop + 1})
 		}
 	}
 
@@ -113,7 +120,7 @@ func (p *ItaiRodehSyncNode) Round(ctx syncnet.NodeContext, round int, inbox []sy
 		if p.role == irsIdle && ctx.Rand().Bool(p.q) {
 			p.role = irsCandidate
 			p.Phases++
-			ctx.Send(0, irsToken{Hop: 1})
+			ctx.Send(p.sendPort, irsToken{Hop: 1})
 		}
 	}
 }
@@ -127,27 +134,57 @@ type ItaiRodehSyncResult struct {
 	Rounds      int
 }
 
+// ItaiRodehSyncConfig configures a synchronous Itai–Rodeh style election
+// in the option-struct style shared by every other entry point.
+type ItaiRodehSyncConfig struct {
+	// N is the ring size (>= 2). When Graph is set, N must be 0 or equal
+	// to the graph's size.
+	N int
+	// Graph optionally replaces the unidirectional ring with any topology
+	// embedding a directed Hamiltonian cycle. Nil means topology.Ring(N).
+	Graph *topology.Graph
+	// Q is the per-phase candidacy probability; 0 means the balanced
+	// default 1/n.
+	Q float64
+	// Seed drives all node randomness.
+	Seed uint64
+	// MaxRounds bounds the run; 0 means 1000·n.
+	MaxRounds int
+}
+
 // RunItaiRodehSync elects a leader on an anonymous synchronous ring of
 // size n with candidacy probability q (0 means the balanced default 1/n),
 // bounding the run to maxRounds (0 means 1000·n).
+//
+// Deprecated: use RunItaiRodehSyncConfig, which takes the same parameters
+// as an option struct and additionally supports non-ring topologies.
 func RunItaiRodehSync(n int, q float64, seed uint64, maxRounds int) (ItaiRodehSyncResult, error) {
-	if n < 2 {
-		return ItaiRodehSyncResult{}, fmt.Errorf("election: ring size %d must be at least 2", n)
+	return RunItaiRodehSyncConfig(ItaiRodehSyncConfig{N: n, Q: q, Seed: seed, MaxRounds: maxRounds})
+}
+
+// RunItaiRodehSyncConfig elects a leader on an anonymous synchronous ring
+// (or ring-embeddable topology) per cfg.
+func RunItaiRodehSyncConfig(cfg ItaiRodehSyncConfig) (ItaiRodehSyncResult, error) {
+	graph, n, ports, err := AsyncRingConfig{N: cfg.N, Graph: cfg.Graph}.resolve()
+	if err != nil {
+		return ItaiRodehSyncResult{}, err
 	}
+	q := cfg.Q
 	if q == 0 {
 		q = 1 / float64(n)
 	}
 	var buildErr error
 	runner, err := syncnet.New(syncnet.Config{
-		Graph:     topology.Ring(n),
-		Seed:      seed,
+		Graph:     graph,
+		Seed:      cfg.Seed,
 		Anonymous: true,
-	}, func(int) syncnet.Node {
+	}, func(i int) syncnet.Node {
 		node, err := NewItaiRodehSyncNode(n, q)
 		if err != nil {
 			buildErr = err
 			return brokenSyncNode{}
 		}
+		node.sendPort = sendPortAt(ports, i)
 		return node
 	})
 	if buildErr != nil {
@@ -156,6 +193,7 @@ func RunItaiRodehSync(n int, q float64, seed uint64, maxRounds int) (ItaiRodehSy
 	if err != nil {
 		return ItaiRodehSyncResult{}, err
 	}
+	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 1000 * n
 	}

@@ -7,7 +7,6 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/network"
 	"abenet/internal/simtime"
-	"abenet/internal/topology"
 )
 
 // petersonMessage carries a temporary identity around the ring. Step
@@ -33,9 +32,10 @@ type petersonMessage struct {
 // messages, giving the 2n·log n worst-case bound — the deterministic
 // counterpart to Chang–Roberts' average case in experiment E7.
 type PetersonNode struct {
-	id     int
-	active bool
-	leader bool
+	id       int
+	sendPort int
+	active   bool
+	leader   bool
 
 	tid    int
 	gotOne bool
@@ -57,7 +57,7 @@ func (p *PetersonNode) IsLeader() bool { return p.leader }
 // Init implements network.Node: open phase one.
 func (p *PetersonNode) Init(ctx *network.Context) {
 	p.Phases = 1
-	ctx.Send(0, petersonMessage{Step: 1, TID: p.tid})
+	ctx.Send(p.sendPort, petersonMessage{Step: 1, TID: p.tid})
 }
 
 // OnTimer implements network.Node; Peterson is message-driven.
@@ -70,7 +70,7 @@ func (p *PetersonNode) OnMessage(ctx *network.Context, _ int, payload any) {
 		panic(fmt.Sprintf("election: foreign payload %T on Peterson ring", payload))
 	}
 	if !p.active {
-		ctx.Send(0, m)
+		ctx.Send(p.sendPort, m)
 		return
 	}
 	switch m.Step {
@@ -84,7 +84,7 @@ func (p *PetersonNode) OnMessage(ctx *network.Context, _ int, payload any) {
 		}
 		p.t1 = m.TID
 		p.gotOne = true
-		ctx.Send(0, petersonMessage{Step: 2, TID: m.TID})
+		ctx.Send(p.sendPort, petersonMessage{Step: 2, TID: m.TID})
 	case 2:
 		if !p.gotOne {
 			// FIFO channels and in-order relaying make step-2 before
@@ -96,7 +96,7 @@ func (p *PetersonNode) OnMessage(ctx *network.Context, _ int, payload any) {
 		if p.t1 > p.tid && p.t1 > m.TID {
 			p.tid = p.t1
 			p.Phases++
-			ctx.Send(0, petersonMessage{Step: 1, TID: p.tid})
+			ctx.Send(p.sendPort, petersonMessage{Step: 1, TID: p.tid})
 		} else {
 			p.active = false
 		}
@@ -108,29 +108,38 @@ func (p *PetersonNode) OnMessage(ctx *network.Context, _ int, payload any) {
 // RunPeterson runs Peterson's election on a unidirectional ring with
 // unique identities and FIFO links.
 func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
-	if cfg.N < 2 {
-		return AsyncRingResult{}, fmt.Errorf("election: ring size %d must be at least 2", cfg.N)
+	graph, n, ports, err := cfg.asyncRing().resolve()
+	if err != nil {
+		return AsyncRingResult{}, err
 	}
-	delay := cfg.Delay
-	if delay == nil {
-		delay = dist.NewExponential(1)
+	links := cfg.Links
+	if links == nil {
+		delay := cfg.Delay
+		if delay == nil {
+			delay = dist.NewExponential(1)
+		}
+		links = channel.FIFOFactory(delay) // Peterson requires FIFO
 	}
 	maxEvents := cfg.MaxEvents
 	if maxEvents == 0 {
 		maxEvents = 50_000_000
 	}
-	ids, err := identityArrangement(cfg.N, cfg.Arrangement, cfg.Seed)
+	ids, err := identityArrangement(n, cfg.Arrangement, cfg.Seed)
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
 
-	nodes := make([]*PetersonNode, cfg.N)
+	nodes := make([]*PetersonNode, n)
 	net, err := network.New(network.Config{
-		Graph: topology.Ring(cfg.N),
-		Links: channel.FIFOFactory(delay), // Peterson requires FIFO
-		Seed:  cfg.Seed,
+		Graph:      graph,
+		Links:      links,
+		Clocks:     cfg.Clocks,
+		Processing: cfg.Processing,
+		Seed:       cfg.Seed,
+		Tracer:     cfg.Tracer,
 	}, func(i int) network.Node {
 		nodes[i] = NewPetersonNode(ids[i])
+		nodes[i].sendPort = sendPortAt(ports, i)
 		return nodes[i]
 	})
 	if err != nil {

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"abenet/internal/dist"
-	"abenet/internal/election"
 	"abenet/internal/harness"
+	"abenet/internal/runner"
 	"abenet/internal/synchronizer"
 	"abenet/internal/syncnet"
 	"abenet/internal/topology"
@@ -30,62 +30,25 @@ func E7Comparison(opt Options) (Result, error) {
 		return res, err
 	}
 
-	irSync := harness.Sweep{Name: "e7-irsync", Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-	irSyncPts, err := irSync.Run(ns, func(x float64, seed uint64) (harness.Metrics, error) {
-		r, err := election.RunItaiRodehSync(int(x), 0, seed, 0)
-		if err != nil {
-			return nil, err
-		}
-		if r.Leaders != 1 {
-			return nil, fmt.Errorf("IR-sync elected %d leaders", r.Leaders)
-		}
-		return harness.Metrics{"messages": float64(r.Messages), "rounds": float64(r.Rounds)}, nil
-	})
+	// The baselines run straight off the registry: sweeping a protocol by
+	// name needs no per-protocol adapter any more.
+	baseline := func(sweepName, protocol string) ([]harness.Point, error) {
+		sweep := harness.Sweep{Name: sweepName, Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
+		return sweep.RunProtocol(protocol, runner.Env{}, ns, runner.RequireElected)
+	}
+	irSyncPts, err := baseline("e7-irsync", "itai-rodeh-sync")
 	if err != nil {
 		return res, err
 	}
-
-	irAsync := harness.Sweep{Name: "e7-irasync", Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-	irAsyncPts, err := irAsync.Run(ns, func(x float64, seed uint64) (harness.Metrics, error) {
-		r, err := election.RunItaiRodehAsync(election.AsyncRingConfig{N: int(x), Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		if r.Leaders != 1 {
-			return nil, fmt.Errorf("IR-async elected %d leaders", r.Leaders)
-		}
-		return harness.Metrics{"messages": float64(r.Messages), "time": r.Time}, nil
-	})
+	irAsyncPts, err := baseline("e7-irasync", "itai-rodeh-async")
 	if err != nil {
 		return res, err
 	}
-
-	cr := harness.Sweep{Name: "e7-cr", Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-	crPts, err := cr.Run(ns, func(x float64, seed uint64) (harness.Metrics, error) {
-		r, err := election.RunChangRoberts(election.ChangRobertsConfig{N: int(x), Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		if r.Leaders != 1 {
-			return nil, fmt.Errorf("CR elected %d leaders", r.Leaders)
-		}
-		return harness.Metrics{"messages": float64(r.Messages), "time": r.Time}, nil
-	})
+	crPts, err := baseline("e7-cr", "chang-roberts")
 	if err != nil {
 		return res, err
 	}
-
-	pet := harness.Sweep{Name: "e7-peterson", Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-	petPts, err := pet.Run(ns, func(x float64, seed uint64) (harness.Metrics, error) {
-		r, err := election.RunPeterson(election.ChangRobertsConfig{N: int(x), Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		if r.Leaders != 1 {
-			return nil, fmt.Errorf("Peterson elected %d leaders", r.Leaders)
-		}
-		return harness.Metrics{"messages": float64(r.Messages), "time": r.Time}, nil
-	})
+	petPts, err := baseline("e7-peterson", "peterson")
 	if err != nil {
 		return res, err
 	}
@@ -192,20 +155,23 @@ func E8Synchronizer(opt Options) (Result, error) {
 	}
 	minOK := true
 	for _, c := range cases {
-		run, err := synchronizer.Run(synchronizer.Config{
-			Kind:  c.kind,
-			Graph: c.graph,
-			Seed:  opt.Seed,
-		}, func(int) syncnet.Node { return &heartbeatProto{limit: rounds} })
+		rep, err := runner.Run(
+			runner.Env{Graph: c.graph, Seed: opt.Seed},
+			runner.Synchronized{
+				Kind:     c.kind,
+				MakeNode: func(int) syncnet.Node { return &heartbeatProto{limit: rounds} },
+			},
+		)
 		if err != nil {
 			return res, err
 		}
-		ok := run.MessagesPerRound >= float64(c.graph.N())
+		perRound := rep.Extra.(runner.SyncExtra).MessagesPerRound
+		ok := perRound >= float64(c.graph.N())
 		if !ok {
 			minOK = false
 		}
 		table.AddRow(c.name, fmt.Sprint(c.graph.N()), fmt.Sprint(c.graph.EdgeCount()),
-			c.kind.String(), fmt.Sprintf("%.1f", run.MessagesPerRound), fmt.Sprintf("%v", ok))
+			c.kind.String(), fmt.Sprintf("%.1f", perRound), fmt.Sprintf("%v", ok))
 	}
 
 	// Part (b): native ABE election vs synchronous IR over a synchronizer.
@@ -219,40 +185,9 @@ func E8Synchronizer(opt Options) (Result, error) {
 		return res, err
 	}
 	syncSweep := harness.Sweep{Name: "e8b-sync", Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-	synced, err := syncSweep.Run(ns, func(x float64, seed uint64) (harness.Metrics, error) {
-		n := int(x)
-		nodes := make([]*election.ItaiRodehSyncNode, n)
-		run, err := synchronizer.Run(synchronizer.Config{
-			Kind:      synchronizer.KindRound,
-			Graph:     topology.Ring(n),
-			Seed:      seed,
-			Anonymous: true,
-			MaxRounds: 100_000,
-		}, func(i int) syncnet.Node {
-			node, err := election.NewItaiRodehSyncNode(n, 1/float64(n))
-			if err != nil {
-				panic(err) // validated parameters; unreachable
-			}
-			nodes[i] = node
-			return node
-		})
-		if err != nil {
-			return nil, err
-		}
-		leaders := 0
-		for _, node := range nodes {
-			if node.IsLeader() {
-				leaders++
-			}
-		}
-		if leaders != 1 {
-			return nil, fmt.Errorf("synchronized IR elected %d leaders", leaders)
-		}
-		return harness.Metrics{
-			"messages": float64(run.Messages),
-			"rounds":   float64(run.Rounds),
-		}, nil
-	})
+	synced, err := syncSweep.RunEnv(ns, func(x float64) (runner.Env, runner.Protocol, error) {
+		return runner.Env{N: int(x), MaxRounds: 100_000}, runner.SynchronizedElection{}, nil
+	}, runner.RequireElected)
 	if err != nil {
 		return res, err
 	}
@@ -309,33 +244,31 @@ func E9ABDOnABE(opt Options) (Result, error) {
 	var abeRates []float64
 	abdAlwaysZero := true
 	for _, period := range []float64{1.5, 2, 3, 4, 6} {
-		abd, err := synchronizer.RunClockSync(synchronizer.ClockSyncConfig{
-			Graph:  topology.Ring(16),
-			Delay:  dist.NewUniform(0, 1),
-			Period: period,
-			Rounds: rounds,
-			Seed:   opt.Seed,
-		})
+		clockSyncOn := func(delay dist.Dist) (runner.ClockSyncExtra, error) {
+			rep, err := runner.Run(
+				runner.Env{N: 16, Delay: delay, Seed: opt.Seed},
+				runner.ClockSync{Period: period, Rounds: rounds},
+			)
+			if err != nil {
+				return runner.ClockSyncExtra{}, err
+			}
+			return rep.Extra.(runner.ClockSyncExtra), nil
+		}
+		abd, err := clockSyncOn(dist.NewUniform(0, 1))
 		if err != nil {
 			return res, err
 		}
-		abe, err := synchronizer.RunClockSync(synchronizer.ClockSyncConfig{
-			Graph:  topology.Ring(16),
-			Delay:  dist.NewExponential(0.5),
-			Period: period,
-			Rounds: rounds,
-			Seed:   opt.Seed,
-		})
+		abe, err := clockSyncOn(dist.NewExponential(0.5))
 		if err != nil {
 			return res, err
 		}
-		if abd.Violations != 0 {
+		if abd.RoundViolations != 0 {
 			abdAlwaysZero = false
 		}
-		abeRates = append(abeRates, abe.ViolationRate())
+		abeRates = append(abeRates, abe.ViolationRate)
 		table.AddRow(fmt.Sprintf("%g", period),
-			fmt.Sprint(abd.Violations), fmt.Sprintf("%.4f", abd.ViolationRate()),
-			fmt.Sprint(abe.Violations), fmt.Sprintf("%.4f", abe.ViolationRate()))
+			fmt.Sprint(abd.RoundViolations), fmt.Sprintf("%.4f", abd.ViolationRate),
+			fmt.Sprint(abe.RoundViolations), fmt.Sprintf("%.4f", abe.ViolationRate))
 	}
 	res.Table = table
 	res.Findings = Findings{

@@ -9,6 +9,7 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/harness"
 	"abenet/internal/rng"
+	"abenet/internal/runner"
 	"abenet/internal/stats"
 )
 
@@ -20,32 +21,20 @@ func clockModelForRatio(r float64) clock.Model {
 	return clock.NewWanderingModel(1, r, 1)
 }
 
-// electionSweep runs the ABE election across ring sizes and returns points
-// with "messages", "time", "activations" metrics.
-func electionSweep(opt Options, name string, ns []float64, reps int, mutate func(n int, cfg *core.ElectionConfig)) ([]harness.Point, error) {
+// electionSweep runs the ABE election across ring sizes through the
+// unified Env/Protocol runner; points carry the full Report metrics
+// ("messages", "time", "activations", ...).
+func electionSweep(opt Options, name string, ns []float64, reps int, mutate func(n int, env *runner.Env, p *runner.Election)) ([]harness.Point, error) {
 	sweep := harness.Sweep{Name: name, Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-	return sweep.Run(ns, func(x float64, seed uint64) (harness.Metrics, error) {
+	return sweep.RunEnv(ns, func(x float64) (runner.Env, runner.Protocol, error) {
 		n := int(x)
-		cfg := core.ElectionConfig{N: n, A0: core.DefaultA0(n), Seed: seed}
+		env := runner.Env{N: n}
+		p := runner.Election{A0: core.DefaultA0(n)}
 		if mutate != nil {
-			mutate(n, &cfg)
+			mutate(n, &env, &p)
 		}
-		r, err := core.RunElection(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if r.Leaders != 1 {
-			return nil, fmt.Errorf("run elected %d leaders", r.Leaders)
-		}
-		if len(r.Violations) != 0 {
-			return nil, fmt.Errorf("invariant violations: %v", r.Violations)
-		}
-		return harness.Metrics{
-			"messages":    float64(r.Messages),
-			"time":        r.Time,
-			"activations": float64(r.Activations),
-		}, nil
-	})
+		return env, p, nil
+	}, runner.RequireElected)
 }
 
 // E2Correctness regenerates the correctness claim: the algorithm elects
@@ -64,9 +53,10 @@ func E2Correctness(opt Options) (Result, error) {
 	for _, n := range []int{2, 3, 8, 32, 64} {
 		ok := 0
 		for seed := 0; seed < reps; seed++ {
-			r, err := core.RunElection(core.ElectionConfig{
-				N: n, A0: core.DefaultA0(n), Seed: opt.Seed + uint64(seed)*7919,
-			})
+			r, err := runner.Run(
+				runner.Env{N: n, Seed: opt.Seed + uint64(seed)*7919},
+				runner.Election{A0: core.DefaultA0(n)},
+			)
 			if err != nil {
 				return res, err
 			}
@@ -192,9 +182,10 @@ func e4Tail(opt Options) (*harness.Table, error) {
 	reservoir := stats.NewReservoir(runs, rng.New(opt.Seed^0xE47A11))
 	var mean stats.Sample
 	for seed := 0; seed < runs; seed++ {
-		r, err := core.RunElection(core.ElectionConfig{
-			N: n, A0: core.DefaultA0(n), Seed: opt.Seed + uint64(seed)*31337,
-		})
+		r, err := runner.Run(
+			runner.Env{N: n, Seed: opt.Seed + uint64(seed)*31337},
+			runner.Election{A0: core.DefaultA0(n)},
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -231,8 +222,8 @@ func E5Ablation(opt Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	constant, err := electionSweep(opt, "e5-constant", ns, reps, func(n int, cfg *core.ElectionConfig) {
-		cfg.ConstantActivation = true
+	constant, err := electionSweep(opt, "e5-constant", ns, reps, func(n int, env *runner.Env, p *runner.Election) {
+		p.ConstantActivation = true
 	})
 	if err != nil {
 		return res, err
@@ -277,19 +268,9 @@ func E6A0Sweep(opt Options) (Result, error) {
 	const n = 64
 	cs := []float64{0.25, 0.5, 1, 2, 4, 8}
 	sweep := harness.Sweep{Name: "e6", Repetitions: opt.reps(100), Workers: opt.Workers, Seed: opt.Seed}
-	points, err := sweep.Run(cs, func(c float64, seed uint64) (harness.Metrics, error) {
-		r, err := core.RunElection(core.ElectionConfig{
-			N: n, A0: core.A0ForRing(n, 1, 1, c), Seed: seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return harness.Metrics{
-			"messages":    float64(r.Messages),
-			"time":        r.Time,
-			"activations": float64(r.Activations),
-		}, nil
-	})
+	points, err := sweep.RunEnv(cs, func(c float64) (runner.Env, runner.Protocol, error) {
+		return runner.Env{N: n}, runner.Election{A0: core.A0ForRing(n, 1, 1, c)}, nil
+	}, nil)
 	if err != nil {
 		return res, err
 	}
@@ -337,19 +318,11 @@ func E10DelayShapes(opt Options) (Result, error) {
 	reps := opt.reps(100)
 	var minMsg, maxMsg float64
 	for i, d := range shapes {
+		d := d
 		sweep := harness.Sweep{Name: "e10/" + d.Name(), Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-		points, err := sweep.Run([]float64{float64(n)}, func(x float64, seed uint64) (harness.Metrics, error) {
-			r, err := core.RunElection(core.ElectionConfig{
-				N: n, A0: core.DefaultA0(n), Delay: d, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if r.Leaders != 1 || len(r.Violations) != 0 {
-				return nil, fmt.Errorf("%s: leaders=%d violations=%v", d.Name(), r.Leaders, r.Violations)
-			}
-			return harness.Metrics{"messages": float64(r.Messages), "time": r.Time}, nil
-		})
+		points, err := sweep.RunEnv([]float64{float64(n)}, func(float64) (runner.Env, runner.Protocol, error) {
+			return runner.Env{N: n, Delay: d}, runner.Election{A0: core.DefaultA0(n)}, nil
+		}, runner.RequireElected)
 		if err != nil {
 			return res, err
 		}
@@ -388,18 +361,9 @@ func E11ClockDrift(opt Options) (Result, error) {
 	for _, r := range ratios {
 		model := clockModelForRatio(r)
 		sweep := harness.Sweep{Name: fmt.Sprintf("e11/r=%g", r), Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-		points, err := sweep.Run([]float64{r}, func(x float64, seed uint64) (harness.Metrics, error) {
-			run, err := core.RunElection(core.ElectionConfig{
-				N: n, A0: core.DefaultA0(n), Clocks: model, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if run.Leaders != 1 || len(run.Violations) != 0 {
-				return nil, fmt.Errorf("ratio %g: leaders=%d", x, run.Leaders)
-			}
-			return harness.Metrics{"messages": float64(run.Messages), "time": run.Time}, nil
-		})
+		points, err := sweep.RunEnv([]float64{r}, func(float64) (runner.Env, runner.Protocol, error) {
+			return runner.Env{N: n, Clocks: model}, runner.Election{A0: core.DefaultA0(n)}, nil
+		}, runner.RequireElected)
 		if err != nil {
 			return res, err
 		}
@@ -436,18 +400,9 @@ func E12Processing(opt Options) (Result, error) {
 			proc = dist.NewExponential(g)
 		}
 		sweep := harness.Sweep{Name: fmt.Sprintf("e12/g=%g", g), Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
-		points, err := sweep.Run([]float64{g}, func(x float64, seed uint64) (harness.Metrics, error) {
-			run, err := core.RunElection(core.ElectionConfig{
-				N: n, A0: core.DefaultA0(n), Processing: proc, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if run.Leaders != 1 || len(run.Violations) != 0 {
-				return nil, fmt.Errorf("γ=%g: leaders=%d", x, run.Leaders)
-			}
-			return harness.Metrics{"messages": float64(run.Messages), "time": run.Time}, nil
-		})
+		points, err := sweep.RunEnv([]float64{g}, func(float64) (runner.Env, runner.Protocol, error) {
+			return runner.Env{N: n, Processing: proc}, runner.Election{A0: core.DefaultA0(n)}, nil
+		}, runner.RequireElected)
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"abenet/internal/runner"
+)
+
+// EnvBuildFunc returns the (environment, protocol) pair to run at sweep
+// position x. The harness injects the per-repetition seed into the
+// returned Env, so builders leave Env.Seed at zero.
+type EnvBuildFunc func(x float64) (runner.Env, runner.Protocol, error)
+
+// RunEnv sweeps a (protocol × environment) family through the unified
+// runner.Run entry point: at every position in xs it asks build for the
+// pair, runs it Repetitions times with deterministically derived seeds,
+// and aggregates runner.Report.Metrics() into one Point per position.
+//
+// check, when non-nil, validates every repetition's report (use
+// runner.RequireElected for election workloads); its error aborts the
+// sweep. This replaces the hand-written func(x, seed) adapters the
+// experiments used to roll per protocol.
+func (s Sweep) RunEnv(xs []float64, build EnvBuildFunc, check func(runner.Report) error) ([]Point, error) {
+	if build == nil {
+		return nil, errors.New("harness: nil env build function")
+	}
+	return s.Run(xs, func(x float64, seed uint64) (Metrics, error) {
+		env, proto, err := build(x)
+		if err != nil {
+			return nil, err
+		}
+		env.Seed = seed
+		rep, err := runner.Run(env, proto)
+		if err != nil {
+			return nil, err
+		}
+		if check != nil {
+			if err := check(rep); err != nil {
+				return nil, err
+			}
+		}
+		return Metrics(rep.Metrics()), nil
+	})
+}
+
+// RunProtocol sweeps a registry protocol by name over network sizes: x is
+// interpreted as the size N of base (whose N and Graph must be unset).
+// This is the zero-adapter path — any (registered protocol × environment)
+// pair runs with one call:
+//
+//	points, err := harness.Sweep{Name: "demo"}.RunProtocol(
+//	    "chang-roberts", runner.Env{}, []float64{8, 16, 32}, nil)
+func (s Sweep) RunProtocol(name string, base runner.Env, xs []float64, check func(runner.Report) error) ([]Point, error) {
+	proto, ok := runner.ProtocolByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown protocol %q (have %v)", name, runner.Protocols())
+	}
+	if base.Graph != nil || base.N != 0 {
+		return nil, errors.New("harness: RunProtocol sweeps the network size; leave base.N and base.Graph unset")
+	}
+	return s.RunEnv(xs, func(x float64) (runner.Env, runner.Protocol, error) {
+		env := base
+		env.N = int(x)
+		if float64(env.N) != x {
+			return runner.Env{}, nil, fmt.Errorf("harness: sweep position %g is not a network size", x)
+		}
+		return env, proto, nil
+	}, check)
+}

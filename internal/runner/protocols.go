@@ -1,0 +1,486 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"abenet/internal/channel"
+	"abenet/internal/core"
+	"abenet/internal/election"
+	"abenet/internal/live"
+	"abenet/internal/synchronizer"
+	"abenet/internal/syncnet"
+	"abenet/internal/topology"
+)
+
+// Election is the paper's probabilistic leader election for anonymous
+// unidirectional ABE rings (Section 3). It honours every Env field; on
+// non-ring topologies it runs along the embedded Hamiltonian cycle.
+// Extra: ElectionExtra.
+type Election struct {
+	// A0 is the base activation parameter in (0, 1). 0 means the balanced
+	// default A0ForRing(n, δ, tick, 1) — the paper's linear-complexity
+	// parameterisation for the environment's mean delay.
+	A0 float64
+	// TickInterval is the local tick period; 0 means 1.
+	TickInterval float64
+	// ConstantActivation enables the E5 ablation (constant wake-up rate).
+	ConstantActivation bool
+	// KeepRunning disables stop-on-leader; requires a finite Env.Horizon.
+	KeepRunning bool
+}
+
+// Name implements Protocol.
+func (Election) Name() string { return "election" }
+
+// Run implements Protocol.
+func (p Election) Run(env Env) (Report, error) {
+	n, err := env.size()
+	if err != nil {
+		return Report{}, err
+	}
+	a0 := p.A0
+	if a0 == 0 {
+		tick := p.TickInterval
+		if tick == 0 {
+			tick = 1
+		}
+		delta := env.meanDelay()
+		if !(delta > 0) {
+			return Report{}, fmt.Errorf("runner: cannot derive a default A0 for mean delay %g; set Election.A0 explicitly", delta)
+		}
+		a0 = core.A0ForRing(n, delta, tick, 1)
+	}
+	res, err := core.RunElection(core.ElectionConfig{
+		N:                  env.graphlessN(),
+		Graph:              env.Graph,
+		A0:                 a0,
+		Delay:              env.Delay,
+		Links:              env.Links,
+		Clocks:             env.Clocks,
+		Processing:         env.Processing,
+		TickInterval:       p.TickInterval,
+		ConstantActivation: p.ConstantActivation,
+		KeepRunning:        p.KeepRunning,
+		Horizon:            env.Horizon,
+		MaxEvents:          env.MaxEvents,
+		Seed:               env.Seed,
+		Tracer:             env.Tracer,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Elected:       res.Elected,
+		LeaderIndex:   res.LeaderIndex,
+		Leaders:       res.Leaders,
+		Messages:      res.Messages,
+		Transmissions: res.Transmissions,
+		Time:          res.Time,
+		Violations:    res.Violations,
+		Params:        res.Params,
+		Extra: ElectionExtra{
+			Activations:    res.Activations,
+			Knockouts:      res.Knockouts,
+			ResidualPurges: res.ResidualPurges,
+		},
+	}, nil
+}
+
+// graphlessN returns N for engine configs that treat Graph and N as
+// alternatives: 0 when a graph is set (the engine reads the graph's size).
+func (e Env) graphlessN() int {
+	if e.Graph != nil {
+		return 0
+	}
+	return e.N
+}
+
+// ItaiRodehSync is the phase-based Itai–Rodeh style election for anonymous
+// *synchronous* rings — the "most optimal" synchronous baseline the paper
+// compares against. It runs on the native round engine: Env.Delay, Links,
+// Clocks and Processing do not apply (the synchronous model has no delays);
+// Env.MaxRounds bounds the run (0 means 1000·n).
+type ItaiRodehSync struct {
+	// Q is the per-phase candidacy probability; 0 means the balanced 1/n.
+	Q float64
+}
+
+// Name implements Protocol.
+func (ItaiRodehSync) Name() string { return "itai-rodeh-sync" }
+
+// Run implements Protocol.
+func (p ItaiRodehSync) Run(env Env) (Report, error) {
+	if _, err := env.size(); err != nil {
+		return Report{}, err
+	}
+	res, err := election.RunItaiRodehSyncConfig(election.ItaiRodehSyncConfig{
+		N:         env.graphlessN(),
+		Graph:     env.Graph,
+		Q:         p.Q,
+		Seed:      env.Seed,
+		MaxRounds: env.MaxRounds,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Elected:     res.Elected,
+		LeaderIndex: res.LeaderIndex,
+		Leaders:     res.Leaders,
+		Messages:    res.Messages,
+		Rounds:      res.Rounds,
+	}, nil
+}
+
+// ItaiRodehAsync is the classic Itai–Rodeh election for anonymous
+// asynchronous rings with FIFO channels (Θ(n log n) expected messages).
+// Env.Links, when set, must preserve per-link FIFO order; nil applies the
+// FIFO discipline to Env.Delay.
+type ItaiRodehAsync struct{}
+
+// Name implements Protocol.
+func (ItaiRodehAsync) Name() string { return "itai-rodeh-async" }
+
+// Run implements Protocol.
+func (ItaiRodehAsync) Run(env Env) (Report, error) {
+	res, err := election.RunItaiRodehAsync(election.AsyncRingConfig{
+		N:          env.graphlessN(),
+		Graph:      env.Graph,
+		Delay:      env.Delay,
+		Links:      env.Links,
+		Clocks:     env.Clocks,
+		Processing: env.Processing,
+		Seed:       env.Seed,
+		MaxEvents:  env.MaxEvents,
+		Tracer:     env.Tracer,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return asyncRingReport(res), nil
+}
+
+// asyncRingReport converts the shared asynchronous-baseline result.
+func asyncRingReport(res election.AsyncRingResult) Report {
+	return Report{
+		Elected:     res.Elected,
+		LeaderIndex: res.LeaderIndex,
+		Leaders:     res.Leaders,
+		Messages:    res.Messages,
+		Time:        res.Time,
+	}
+}
+
+// ChangRoberts is the identity-based Chang–Roberts election on
+// asynchronous rings (Θ(n log n) average, Θ(n²) worst case).
+type ChangRoberts struct {
+	// Arrangement selects the identity layout; 0 means random.
+	Arrangement election.ChangRobertsArrangement
+}
+
+// Name implements Protocol.
+func (ChangRoberts) Name() string { return "chang-roberts" }
+
+// Run implements Protocol.
+func (p ChangRoberts) Run(env Env) (Report, error) {
+	res, err := election.RunChangRoberts(changRobertsConfig(env, p.Arrangement))
+	if err != nil {
+		return Report{}, err
+	}
+	return asyncRingReport(res), nil
+}
+
+// Peterson is Peterson's deterministic O(n log n) election for
+// asynchronous unidirectional rings with unique identities and FIFO
+// channels. Env.Links, when set, must preserve per-link FIFO order.
+type Peterson struct {
+	// Arrangement selects the identity layout; 0 means random.
+	Arrangement election.ChangRobertsArrangement
+}
+
+// Name implements Protocol.
+func (Peterson) Name() string { return "peterson" }
+
+// Run implements Protocol.
+func (p Peterson) Run(env Env) (Report, error) {
+	res, err := election.RunPeterson(changRobertsConfig(env, p.Arrangement))
+	if err != nil {
+		return Report{}, err
+	}
+	return asyncRingReport(res), nil
+}
+
+func changRobertsConfig(env Env, a election.ChangRobertsArrangement) election.ChangRobertsConfig {
+	return election.ChangRobertsConfig{
+		N:           env.graphlessN(),
+		Graph:       env.Graph,
+		Arrangement: a,
+		Delay:       env.Delay,
+		Links:       env.Links,
+		Clocks:      env.Clocks,
+		Processing:  env.Processing,
+		Seed:        env.Seed,
+		MaxEvents:   env.MaxEvents,
+		Tracer:      env.Tracer,
+	}
+}
+
+// Synchronized executes an arbitrary synchronous protocol over the
+// asynchronous ABE environment via a message-driven synchronizer — the
+// machinery behind Theorem 1's n-messages-per-round cost. Extra: SyncExtra.
+type Synchronized struct {
+	// Kind selects the synchronizer; 0 means the round synchronizer.
+	Kind synchronizer.Kind
+	// ClusterRadius is the γ-synchronizer's BFS radius; 0 means 2.
+	ClusterRadius int
+	// Anonymous forbids protocol identity reads.
+	Anonymous bool
+	// MakeNode builds the synchronous protocol instance per node.
+	// Required.
+	MakeNode func(i int) syncnet.Node
+}
+
+// Name implements Protocol.
+func (Synchronized) Name() string { return "synchronized" }
+
+// Run implements Protocol.
+func (p Synchronized) Run(env Env) (Report, error) {
+	if p.MakeNode == nil {
+		return Report{}, fmt.Errorf("runner: synchronized protocol needs a MakeNode constructor")
+	}
+	kind := p.Kind
+	if kind == 0 {
+		kind = synchronizer.KindRound
+	}
+	graph, err := env.graph()
+	if err != nil {
+		return Report{}, err
+	}
+	var nodes []syncnet.Node
+	res, err := synchronizer.Run(synchronizer.Config{
+		Kind:          kind,
+		Graph:         graph,
+		Links:         env.linkFactory(channel.RandomDelayFactory),
+		Clocks:        env.Clocks,
+		ClusterRadius: p.ClusterRadius,
+		MaxRounds:     env.MaxRounds,
+		MaxEvents:     env.MaxEvents,
+		Seed:          env.Seed,
+		Anonymous:     p.Anonymous,
+	}, func(i int) syncnet.Node {
+		node := p.MakeNode(i)
+		nodes = append(nodes, node)
+		return node
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	rep := syncReport(res)
+	// Count leaders when the synchronous protocol reports them.
+	rep.LeaderIndex = -1
+	for i, node := range nodes {
+		if lr, ok := node.(interface{ IsLeader() bool }); ok && lr.IsLeader() {
+			rep.Leaders++
+			rep.LeaderIndex = i
+		}
+	}
+	rep.Elected = rep.Leaders > 0
+	return rep, nil
+}
+
+// syncReport converts a synchronizer result into the common shape.
+func syncReport(res synchronizer.Result) Report {
+	return Report{
+		Messages: res.Messages,
+		Rounds:   res.Rounds,
+		Time:     res.Time,
+		Extra: SyncExtra{
+			MinRounds:        res.MinRounds,
+			PayloadMessages:  res.PayloadMessages,
+			MessagesPerRound: res.MessagesPerRound,
+			Stopped:          res.Stopped,
+			StopCause:        res.StopCause,
+		},
+	}
+}
+
+// SynchronizedElection runs the synchronous Itai–Rodeh election over a
+// synchronizer on the ABE environment — the paper's "synchronous
+// algorithms lose their message complexity" workload (E8b). Extra:
+// SyncExtra.
+type SynchronizedElection struct {
+	// Kind selects the synchronizer; 0 means the round synchronizer.
+	Kind synchronizer.Kind
+	// Q is the per-phase candidacy probability; 0 means the balanced 1/n.
+	Q float64
+}
+
+// Name implements Protocol.
+func (SynchronizedElection) Name() string { return "synchronized-election" }
+
+// Run implements Protocol.
+func (p SynchronizedElection) Run(env Env) (Report, error) {
+	n, err := env.size()
+	if err != nil {
+		return Report{}, err
+	}
+	// On non-ring topologies the election's tokens must follow the
+	// embedded Hamiltonian cycle, exactly as the native ring protocols do.
+	var ports []int
+	if env.Graph != nil {
+		ports, err = env.Graph.RingEmbedding()
+		if err != nil {
+			return Report{}, fmt.Errorf("runner: %w", err)
+		}
+	}
+	q := p.Q
+	if q == 0 {
+		q = 1 / float64(n)
+	}
+	if env.MaxRounds == 0 {
+		env.MaxRounds = 100_000
+	}
+	var buildErr error
+	rep, err := Synchronized{
+		Kind:      p.Kind,
+		Anonymous: true,
+		MakeNode: func(i int) syncnet.Node {
+			node, err := election.NewItaiRodehSyncNode(n, q)
+			if err != nil {
+				buildErr = err
+				return brokenSyncNode{}
+			}
+			if ports != nil {
+				node.SetSendPort(ports[i])
+			}
+			return node
+		},
+	}.Run(env)
+	if buildErr != nil {
+		return Report{}, buildErr
+	}
+	return rep, err
+}
+
+// brokenSyncNode is a placeholder while aborting construction.
+type brokenSyncNode struct{}
+
+func (brokenSyncNode) Round(syncnet.NodeContext, int, []syncnet.Message) {}
+
+// ClockSync is the clock-driven (Tel–Korach–Zaks style) ABD synchronizer
+// workload: zero control messages, trusting a hard delay bound that ABE
+// networks do not have. Extra: ClockSyncExtra.
+type ClockSync struct {
+	// Period is the local time between round starts; 0 means twice the
+	// environment's mean delay.
+	Period float64
+	// Rounds is how many rounds each node runs; 0 means 100. Env.MaxRounds,
+	// when set, caps the count either way.
+	Rounds int
+}
+
+// Name implements Protocol.
+func (ClockSync) Name() string { return "clock-sync" }
+
+// Run implements Protocol.
+func (p ClockSync) Run(env Env) (Report, error) {
+	graph, err := env.graph()
+	if err != nil {
+		return Report{}, err
+	}
+	period := p.Period
+	if period == 0 {
+		period = 2 * env.meanDelay()
+	}
+	rounds := p.Rounds
+	if rounds == 0 {
+		rounds = 100
+	}
+	if env.MaxRounds > 0 && rounds > env.MaxRounds {
+		rounds = env.MaxRounds
+	}
+	res, err := synchronizer.RunClockSync(synchronizer.ClockSyncConfig{
+		Graph:  graph,
+		Delay:  env.Delay,
+		Links:  env.Links,
+		Period: period,
+		Rounds: rounds,
+		Clocks: env.Clocks,
+		Seed:   env.Seed,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Messages: res.Messages,
+		Rounds:   rounds,
+		Time:     res.Time,
+		Extra: ClockSyncExtra{
+			RoundViolations: res.Violations,
+			MaxLateness:     res.MaxLateness,
+			ViolationRate:   res.ViolationRate(),
+		},
+	}, nil
+}
+
+// LiveElection runs the paper's election on real goroutines and channels
+// with wall-clock delays — intentionally nondeterministic. The environment
+// contributes N (a unidirectional ring; Env.Graph must be nil or a plain
+// ring) and Seed; the timing model is wall-clock and configured here.
+// Extra: LiveExtra; Report.Time is the elapsed wall-clock in seconds.
+type LiveElection struct {
+	// A0 is the base activation parameter; 0 means the balanced 1/n².
+	A0 float64
+	// MeanDelay is the expected link delay; 0 means 200µs.
+	MeanDelay time.Duration
+	// TickEvery is the local tick period; 0 means MeanDelay.
+	TickEvery time.Duration
+	// Timeout aborts the run; 0 means 30s.
+	Timeout time.Duration
+}
+
+// Name implements Protocol.
+func (LiveElection) Name() string { return "live-election" }
+
+// Run implements Protocol.
+func (p LiveElection) Run(env Env) (Report, error) {
+	n, err := env.size()
+	if err != nil {
+		return Report{}, err
+	}
+	if env.Graph != nil && !isUnidirectionalRing(env.Graph) {
+		return Report{}, fmt.Errorf("runner: the live runtime only supports the unidirectional ring")
+	}
+	res, err := live.RunElection(live.ElectionConfig{
+		N:         n,
+		A0:        p.A0,
+		MeanDelay: p.MeanDelay,
+		TickEvery: p.TickEvery,
+		Timeout:   p.Timeout,
+		Seed:      env.Seed,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Elected:     res.Leaders > 0,
+		LeaderIndex: res.LeaderIndex,
+		Leaders:     res.Leaders,
+		Messages:    res.Messages,
+		Time:        res.Elapsed.Seconds(),
+		Extra:       LiveExtra{Elapsed: res.Elapsed},
+	}, nil
+}
+
+// isUnidirectionalRing reports whether g is exactly the ring i → (i+1)%n.
+func isUnidirectionalRing(g *topology.Graph) bool {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		out := g.Out(u)
+		if len(out) != 1 || out[0] != (u+1)%n {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package runner
+
+import "sort"
+
+// registry maps protocol names to runnable default instances. Every entry
+// must be runnable on a default environment (Env{N: n, Seed: s}) with its
+// zero-value options — that is what lets tools sweep protocols by name
+// with no per-protocol adapter code.
+var registry = map[string]Protocol{}
+
+// RegisterProtocol adds a protocol's default instance to the registry. It
+// panics on duplicate names: the registry is assembled at init time and a
+// clash is a programming error.
+func RegisterProtocol(p Protocol) {
+	name := p.Name()
+	if _, dup := registry[name]; dup {
+		panic("runner: duplicate protocol name " + name)
+	}
+	registry[name] = p
+}
+
+func init() {
+	RegisterProtocol(Election{})
+	RegisterProtocol(ItaiRodehSync{})
+	RegisterProtocol(ItaiRodehAsync{})
+	RegisterProtocol(ChangRoberts{})
+	RegisterProtocol(Peterson{})
+	RegisterProtocol(SynchronizedElection{})
+	RegisterProtocol(ClockSync{})
+	RegisterProtocol(LiveElection{})
+	// Synchronized is deliberately unregistered: it needs a MakeNode
+	// constructor, so it has no runnable default.
+}
+
+// Protocols returns the sorted names of every registered protocol.
+func Protocols() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProtocolByName returns the registered protocol's default instance.
+func ProtocolByName(name string) (Protocol, bool) {
+	p, ok := registry[name]
+	return p, ok
+}

@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"abenet/internal/core"
+)
+
+// Report is the common result shape of every protocol run. Fields that do
+// not apply to a protocol stay at their zero value; protocol-specific
+// measurements live in Extra, which holds one of the typed *Extra structs
+// below (documented per protocol).
+type Report struct {
+	// Protocol is the registry name of the protocol that ran.
+	Protocol string
+	// Elected reports whether some node reached a leader state (election
+	// protocols only).
+	Elected bool
+	// LeaderIndex is the simulator-level index of the leader, or -1. It is
+	// measurement-only: anonymous protocols never see identities.
+	LeaderIndex int
+	// Leaders counts nodes in a leader state (1 after a correct election).
+	Leaders int
+	// Messages counts logical message sends, including synchronizer
+	// control traffic where applicable.
+	Messages uint64
+	// Transmissions counts physical transmissions (≥ Messages under ARQ;
+	// 0 when the engine does not model retransmission).
+	Transmissions uint64
+	// Rounds is the number of rounds driven (round-based protocols only).
+	Rounds int
+	// Time is the virtual time at which the run ended. For the live
+	// (goroutine) runtime it is the wall-clock duration in seconds.
+	Time float64
+	// Violations collects invariant violations; empty in every correct run.
+	Violations []string
+	// Params are the tightest ABE parameters of the simulated network
+	// (zero for engines that do not model delays, e.g. the native
+	// synchronous round engine).
+	Params core.Params
+	// Extra holds the protocol-specific measurements as one of the typed
+	// *Extra structs in this package, or nil.
+	Extra any
+}
+
+// extraMetrics is implemented by Extra payloads that contribute named
+// measurements to Metrics().
+type extraMetrics interface {
+	metricsInto(m map[string]float64)
+}
+
+// Metrics flattens the report into named measurements for the experiment
+// harness: the common counters plus everything the protocol's Extra
+// contributes. The key set is constant per protocol, so sweep aggregation
+// sees every metric in every repetition.
+func (r Report) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"messages":      float64(r.Messages),
+		"transmissions": float64(r.Transmissions),
+		"rounds":        float64(r.Rounds),
+		"time":          r.Time,
+		"leaders":       float64(r.Leaders),
+		"violations":    float64(len(r.Violations)),
+	}
+	if x, ok := r.Extra.(extraMetrics); ok {
+		x.metricsInto(m)
+	}
+	return m
+}
+
+// RequireElected returns an error unless the report shows exactly one
+// leader and no invariant violations — the per-run acceptance check the
+// election experiments share.
+func RequireElected(r Report) error {
+	if r.Leaders != 1 {
+		return fmt.Errorf("runner: %s elected %d leaders", r.Protocol, r.Leaders)
+	}
+	if len(r.Violations) != 0 {
+		return fmt.Errorf("runner: %s reported invariant violations: %v", r.Protocol, r.Violations)
+	}
+	return nil
+}
+
+// ElectionExtra is the Extra payload of the ABE election protocol.
+type ElectionExtra struct {
+	// Activations sums idle→active transitions over all nodes.
+	Activations int
+	// Knockouts sums purged messages over all nodes.
+	Knockouts int
+	// ResidualPurges counts messages absorbed by the leader.
+	ResidualPurges int
+}
+
+func (x ElectionExtra) metricsInto(m map[string]float64) {
+	m["activations"] = float64(x.Activations)
+	m["knockouts"] = float64(x.Knockouts)
+	m["residual_purges"] = float64(x.ResidualPurges)
+}
+
+// SyncExtra is the Extra payload of synchronized executions.
+type SyncExtra struct {
+	// MinRounds is the number of rounds completed by every node.
+	MinRounds int
+	// PayloadMessages counts protocol payloads carried (Messages also
+	// includes synchronizer control traffic).
+	PayloadMessages uint64
+	// MessagesPerRound is Messages/MinRounds — the sustained per-round
+	// cost Theorem 1 lower bounds by n.
+	MessagesPerRound float64
+	// Stopped reports whether the protocol stopped the run (vs hitting
+	// the round budget).
+	Stopped bool
+	// StopCause is the protocol's stop cause, if any.
+	StopCause string
+}
+
+func (x SyncExtra) metricsInto(m map[string]float64) {
+	m["payload_messages"] = float64(x.PayloadMessages)
+	m["messages_per_round"] = x.MessagesPerRound
+}
+
+// ClockSyncExtra is the Extra payload of the clock-driven ABD synchronizer
+// workload.
+type ClockSyncExtra struct {
+	// RoundViolations counts messages that arrived after their receiver
+	// had advanced past the sender's round — synchrony broken.
+	RoundViolations uint64
+	// MaxLateness is the worst observed lateness among violations.
+	MaxLateness int
+	// ViolationRate is RoundViolations/Messages (0 for an empty run).
+	ViolationRate float64
+}
+
+func (x ClockSyncExtra) metricsInto(m map[string]float64) {
+	m["round_violations"] = float64(x.RoundViolations)
+	m["violation_rate"] = x.ViolationRate
+}
+
+// LiveExtra is the Extra payload of the live goroutine runtime.
+type LiveExtra struct {
+	// Elapsed is the wall-clock duration until the leader emerged.
+	Elapsed time.Duration
+}

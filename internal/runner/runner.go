@@ -1,0 +1,169 @@
+// Package runner is the unified entry point of the library: one Env type
+// stating the ABE environment of Definition 1 once, one Protocol interface
+// with per-protocol option structs, one Report shape for every run, and a
+// name-keyed registry so tools and experiment harnesses can sweep any
+// (protocol × environment) pair generically.
+//
+// The environment and the protocol are deliberately separated, following
+// the paper's own structure: Definition 1 defines the *network* (δ on the
+// expected delay, [s_low, s_high] on clock speeds, γ on processing time)
+// independently of the *algorithm* run on it. Before this package each
+// entry point re-declared its own slice of the environment; now
+//
+//	rep, err := runner.Run(env, proto)
+//
+// is the single door, and the facade's historical Run* functions are thin
+// deprecated shims over it.
+package runner
+
+import (
+	"errors"
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/clock"
+	"abenet/internal/dist"
+	"abenet/internal/network"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// Env states the ABE environment (Definition 1) plus the run bounds, once,
+// for every protocol. The zero value of every field selects the canonical
+// experimental setting: a unidirectional ring, exponential delays with
+// δ = 1, perfect clocks, instantaneous processing.
+type Env struct {
+	// Graph is the communication topology. Nil means topology.Ring(N).
+	// Ring-based protocols accept any graph embedding a directed
+	// Hamiltonian cycle (BiRing, Complete, Hypercube, ...): messages
+	// travel along the embedded cycle and the other edges stay silent.
+	Graph *topology.Graph
+	// N is the network size, used when Graph is nil. When Graph is set,
+	// N must be 0 or equal to the graph's size.
+	N int
+	// Delay is the per-link message delay distribution — condition 1's δ
+	// is its mean. Nil means Exponential(1).
+	Delay dist.Dist
+	// Links optionally overrides Delay with a full link factory (ARQ,
+	// FIFO, heterogeneous). When set, Delay is ignored by protocols that
+	// honour Links; protocols with a fixed channel discipline document
+	// their behaviour.
+	Links channel.Factory
+	// Delta optionally declares the bound on the expected link delay (the
+	// paper's δ), used to derive balanced protocol defaults (Election's
+	// A0, ClockSync's period). Link factories expose no mean before the
+	// network is built, so environments using Links should declare Delta;
+	// 0 means derive δ from Delay's exact mean (or 1 for link factories).
+	Delta float64
+	// Clocks is the local clock model — condition 2's [s_low, s_high].
+	// Nil means perfect clocks.
+	Clocks clock.Model
+	// Processing is the event-processing time model — condition 3's γ.
+	// Nil means instantaneous processing.
+	Processing dist.Dist
+	// Seed determines the whole run.
+	Seed uint64
+	// Horizon bounds virtual time for event-driven protocols; 0 means
+	// unbounded.
+	Horizon simtime.Time
+	// MaxEvents bounds the number of simulation events for event-driven
+	// protocols; 0 means each protocol's livelock-guard default (50e6).
+	MaxEvents uint64
+	// MaxRounds bounds round-based protocols (synchronous engines and
+	// synchronizers); 0 means each protocol's default.
+	MaxRounds int
+	// Tracer optionally observes event-driven runs; nil disables tracing.
+	// Honoured by Election, ItaiRodehAsync, ChangRoberts and Peterson;
+	// the round-engine and synchronizer protocols have no event stream to
+	// trace and ignore it.
+	Tracer network.Tracer
+}
+
+// size returns the network size the environment describes.
+func (e Env) size() (int, error) {
+	if e.Graph != nil {
+		n := e.Graph.N()
+		if e.N != 0 && e.N != n {
+			return 0, fmt.Errorf("runner: env.N = %d disagrees with graph size %d", e.N, n)
+		}
+		return n, nil
+	}
+	if e.N < 2 {
+		return 0, fmt.Errorf("runner: env needs N >= 2 (or a Graph), got N = %d", e.N)
+	}
+	return e.N, nil
+}
+
+// graph returns the concrete topology (building the default ring).
+func (e Env) graph() (*topology.Graph, error) {
+	if e.Graph != nil {
+		return e.Graph, nil
+	}
+	n, err := e.size()
+	if err != nil {
+		return nil, err
+	}
+	return topology.Ring(n), nil
+}
+
+// linkFactory resolves Links/Delay into a link factory with the given
+// default discipline applied to the delay distribution.
+func (e Env) linkFactory(wrap func(dist.Dist) channel.Factory) channel.Factory {
+	if e.Links != nil {
+		return e.Links
+	}
+	return wrap(e.delay())
+}
+
+// delay returns the delay distribution (defaulting to Exponential(1)).
+func (e Env) delay() dist.Dist {
+	if e.Delay != nil {
+		return e.Delay
+	}
+	return dist.NewExponential(1)
+}
+
+// meanDelay returns the best-known δ of the environment: the declared
+// Delta if any, else the delay distribution's mean, else 1 when only a
+// link factory is given (factories do not expose a mean before the
+// network is built).
+func (e Env) meanDelay() float64 {
+	if e.Delta > 0 {
+		return e.Delta
+	}
+	if e.Links != nil {
+		return 1
+	}
+	return e.delay().Mean()
+}
+
+// Protocol is a runnable protocol: an algorithm plus its options, bound to
+// an environment only at Run time. Implementations are option structs
+// (Election, ItaiRodehSync, ChangRoberts, ...) whose zero values select
+// balanced defaults, so every registry entry is runnable as-is.
+type Protocol interface {
+	// Name is the registry key (stable, kebab-case).
+	Name() string
+	// Run executes the protocol on env. Implementations fill every Report
+	// field they can and put protocol-specific measurements in Extra.
+	Run(env Env) (Report, error)
+}
+
+// Run executes protocol p on environment env: the single entry point every
+// facade function, tool and sweep goes through. The environment's size
+// invariants (N >= 2 or a Graph; N matching the graph when both are set)
+// are checked here so every protocol rejects an invalid Env identically.
+func Run(env Env, p Protocol) (Report, error) {
+	if p == nil {
+		return Report{}, errors.New("runner: nil protocol")
+	}
+	if _, err := env.size(); err != nil {
+		return Report{}, err
+	}
+	rep, err := p.Run(env)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Protocol = p.Name()
+	return rep, nil
+}

@@ -26,6 +26,8 @@ type ClockSyncConfig struct {
 	// Delay is the link delay distribution; nil means Exponential(1).
 	// Use a bounded distribution (e.g. Uniform) to model an ABD network.
 	Delay dist.Dist
+	// Links optionally overrides Delay with a full link factory.
+	Links channel.Factory
 	// Period is the local time between round starts; must be positive.
 	Period float64
 	// Rounds is how many rounds each node runs; must be positive.
@@ -129,16 +131,20 @@ func RunClockSync(cfg ClockSyncConfig) (ClockSyncResult, error) {
 	if cfg.Rounds < 1 {
 		return ClockSyncResult{}, fmt.Errorf("synchronizer: rounds %d must be positive", cfg.Rounds)
 	}
-	delay := cfg.Delay
-	if delay == nil {
-		delay = dist.NewExponential(1)
+	links := cfg.Links
+	if links == nil {
+		delay := cfg.Delay
+		if delay == nil {
+			delay = dist.NewExponential(1)
+		}
+		links = channel.RandomDelayFactory(delay)
 	}
 
 	var violations uint64
 	var maxLateness int
 	net, err := network.New(network.Config{
 		Graph:  cfg.Graph,
-		Links:  channel.RandomDelayFactory(delay),
+		Links:  links,
 		Clocks: cfg.Clocks,
 		Seed:   cfg.Seed,
 	}, func(int) network.Node {

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_*.json shape committed in this repository (see BENCH_seed.json):
+// per-benchmark ns/op plus any custom metrics, the capture environment,
+// and a stable ordering. CI pipes the benchmark smoke run through it to
+// publish BENCH_pr2.json next to the seed baseline.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | go run ./internal/tools/benchjson \
+//	    -command "go test -bench . -benchtime 1x -run '^$' ." \
+//	    -note "PR benchmark smoke through the unified Run path" > BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one benchmark's captured numbers.
+type benchmark struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// output is the BENCH_*.json document.
+type output struct {
+	Benchmarks  map[string]benchmark `json:"benchmarks"`
+	Command     string               `json:"command"`
+	Environment map[string]string    `json:"environment"`
+	Note        string               `json:"note"`
+	Order       []string             `json:"order"`
+}
+
+func main() {
+	command := flag.String("command", "go test -bench . -benchtime 1x -run '^$' .", "command recorded in the document")
+	note := flag.String("note", "benchmark smoke: single-iteration timings are indicative only; the attached metrics pin the experiments' headline findings", "note recorded in the document")
+	flag.Parse()
+
+	out := output{
+		Benchmarks:  map[string]benchmark{},
+		Command:     *command,
+		Environment: map[string]string{},
+		Note:        *note,
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				out.Environment[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name-GOMAXPROCS, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		b := benchmark{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks[name] = b
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	for name := range out.Benchmarks {
+		out.Order = append(out.Order, name)
+	}
+	sort.Strings(out.Order)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+package topology
+
+import "testing"
+
+// TestHamiltonianCycleLargeFamilies pins that the cycle finder scales to
+// the sizes the sweeps use: Gray-code hypercubes at any dimension,
+// Warnsdorff backtracking on tori, fast-path complete graphs.
+func TestHamiltonianCycleLargeFamilies(t *testing.T) {
+	for _, g := range []*Graph{Hypercube(6), Hypercube(8), Hypercube(10), Torus(8, 8), Complete(200)} {
+		order, ok := g.HamiltonianCycle()
+		if !ok {
+			t.Fatalf("no cycle found on %d nodes", g.N())
+		}
+		n := g.N()
+		seen := make([]bool, n)
+		for i, u := range order {
+			if seen[u] {
+				t.Fatalf("n=%d: node %d visited twice", n, u)
+			}
+			seen[u] = true
+			if v := order[(i+1)%n]; !g.HasEdge(u, v) {
+				t.Fatalf("n=%d: cycle uses missing edge %d->%d", n, u, v)
+			}
+		}
+	}
+}

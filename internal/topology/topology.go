@@ -10,6 +10,8 @@ package topology
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"abenet/internal/rng"
 )
@@ -25,6 +27,15 @@ type Graph struct {
 	n   int
 	out [][]int
 	in  [][]int
+
+	// RingEmbedding cache: graphs are frozen after construction, and
+	// sweeps run thousands of seeded repetitions against one shared
+	// Graph, so the (possibly backtracking) cycle search must not be
+	// redone per run. Guarded by ringMu; invalidated by AddEdge.
+	ringMu    sync.Mutex
+	ringDone  bool
+	ringPorts []int
+	ringErr   error
 }
 
 // New returns a graph with n nodes and no edges. It panics if n < 1.
@@ -58,6 +69,9 @@ func (g *Graph) AddEdge(u, v int) {
 	}
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
+	g.ringMu.Lock()
+	g.ringDone = false
+	g.ringMu.Unlock()
 }
 
 // AddBiEdge adds both u->v and v->u.
@@ -223,6 +237,183 @@ func Hypercube(dim int) *Graph {
 		}
 	}
 	return g
+}
+
+// HamiltonianCycle returns an ordering of all n nodes, starting at node 0,
+// such that the graph has a directed edge from each node in the order to
+// the next (wrapping around), or false when no such cycle was found.
+//
+// Ring-based protocols (the paper's election, the Itai–Rodeh and
+// Chang–Roberts baselines) run on any topology that embeds such a cycle:
+// messages travel along the cycle and the remaining edges carry no
+// traffic. The natural ring 0→1→…→n−1→0 is recognised in O(n); otherwise
+// a backtracking search runs with a bounded step budget, so the call is
+// safe on adversarial graphs — it gives up (returning false) rather than
+// taking exponential time. The standard families (BiRing, Complete,
+// Hypercube, Torus) are all found well within the budget.
+func (g *Graph) HamiltonianCycle() ([]int, bool) {
+	n := g.n
+	if n < 2 {
+		return nil, false
+	}
+	// Fast path: the identity order is a cycle (Ring, BiRing, Complete).
+	natural := true
+	for u := 0; u < n; u++ {
+		if !g.HasEdge(u, (u+1)%n) {
+			natural = false
+			break
+		}
+	}
+	if natural {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order, true
+	}
+	// Constructive fast path: hypercube-labelled graphs (every edge flips
+	// exactly one bit) carry the binary-reflected Gray code as a
+	// Hamiltonian cycle, at any dimension — no search needed.
+	if order, ok := g.grayCodeCycle(); ok {
+		return order, true
+	}
+	// Bounded backtracking from node 0 with Warnsdorff's rule: always try
+	// the unvisited neighbour with the fewest onward options first. On
+	// regular graphs (hypercubes, tori) this finds a cycle with little or
+	// no backtracking where plain adjacency order blows the budget.
+	const stepBudget = 1 << 20
+	steps := 0
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	onward := func(v int) int {
+		count := 0
+		for _, w := range g.out[v] {
+			if !visited[w] {
+				count++
+			}
+		}
+		return count
+	}
+	var extend func(u int) bool
+	extend = func(u int) bool {
+		if steps++; steps > stepBudget {
+			return false
+		}
+		order = append(order, u)
+		visited[u] = true
+		if len(order) == n {
+			if g.HasEdge(u, 0) {
+				return true
+			}
+		} else {
+			type cand struct{ v, onward int }
+			cands := make([]cand, 0, len(g.out[u]))
+			for _, v := range g.out[u] {
+				if !visited[v] {
+					cands = append(cands, cand{v, onward(v)})
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].onward != cands[j].onward {
+					return cands[i].onward < cands[j].onward
+				}
+				return cands[i].v < cands[j].v // deterministic tie-break
+			})
+			last := len(order) == n-1
+			for _, c := range cands {
+				// A candidate with no onward moves is a dead end unless
+				// it completes the cycle.
+				if c.onward == 0 && !last {
+					continue
+				}
+				if extend(c.v) {
+					return true
+				}
+			}
+		}
+		order = order[:len(order)-1]
+		visited[u] = false
+		return false
+	}
+	if !extend(0) {
+		return nil, false
+	}
+	return order, true
+}
+
+// grayCodeCycle returns the binary-reflected Gray code order when the
+// graph is a hypercube under the standard labelling: n a power of two
+// (>= 4) and the edge set exactly {u ↔ u^(1<<b)}.
+func (g *Graph) grayCodeCycle() ([]int, bool) {
+	n := g.n
+	if n < 4 || n&(n-1) != 0 {
+		return nil, false
+	}
+	dim := 0
+	for 1<<(dim+1) <= n {
+		dim++
+	}
+	for u := 0; u < n; u++ {
+		out := g.out[u]
+		if len(out) != dim {
+			return nil, false
+		}
+		for _, v := range out {
+			x := u ^ v
+			if x == 0 || x&(x-1) != 0 {
+				return nil, false // not a single bit flip
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i ^ (i >> 1) // Gray code: consecutive entries differ in one bit
+	}
+	return order, true
+}
+
+// RingEmbedding returns, for every node, the out-port index of the edge
+// leading to the node's successor on a directed Hamiltonian cycle of the
+// graph. On the unidirectional ring every entry is 0 — the embedding is
+// the identity — so engines can apply it unconditionally. An error is
+// returned when the graph embeds no Hamiltonian cycle (within the search
+// budget of HamiltonianCycle). The result is computed once and cached
+// (callers must not mutate the returned slice); the cache is safe for the
+// concurrent seeded repetitions of a sweep.
+func (g *Graph) RingEmbedding() ([]int, error) {
+	g.ringMu.Lock()
+	defer g.ringMu.Unlock()
+	if g.ringDone {
+		return g.ringPorts, g.ringErr
+	}
+	g.ringPorts, g.ringErr = g.ringEmbedding()
+	g.ringDone = true
+	return g.ringPorts, g.ringErr
+}
+
+// ringEmbedding computes the uncached embedding.
+func (g *Graph) ringEmbedding() ([]int, error) {
+	order, ok := g.HamiltonianCycle()
+	if !ok {
+		return nil, fmt.Errorf("topology: graph on %d nodes embeds no directed Hamiltonian cycle (ring protocols cannot run on it)", g.n)
+	}
+	ports := make([]int, g.n)
+	for i, u := range order {
+		v := order[(i+1)%g.n]
+		port := -1
+		for p, w := range g.out[u] {
+			if w == v {
+				port = p
+				break
+			}
+		}
+		if port < 0 {
+			// HamiltonianCycle only returns existing edges.
+			panic(fmt.Sprintf("topology: cycle edge %d->%d not in graph", u, v))
+		}
+		ports[u] = port
+	}
+	return ports, nil
 }
 
 // RandomConnected returns a random connected bidirectional graph: a uniform

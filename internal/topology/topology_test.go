@@ -292,3 +292,81 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+func TestHamiltonianCycle(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"ring", Ring(8), true},
+		{"biring", BiRing(8), true},
+		{"complete", Complete(7), true},
+		{"hypercube", Hypercube(4), true},
+		{"torus", Torus(3, 4), true},
+		{"line", Line(6), false},
+		{"star", Star(6), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			order, ok := c.g.HamiltonianCycle()
+			if ok != c.want {
+				t.Fatalf("HamiltonianCycle ok = %v, want %v", ok, c.want)
+			}
+			if !ok {
+				return
+			}
+			n := c.g.N()
+			if len(order) != n || order[0] != 0 {
+				t.Fatalf("order %v must visit all %d nodes starting at 0", order, n)
+			}
+			seen := make([]bool, n)
+			for i, u := range order {
+				if seen[u] {
+					t.Fatalf("node %d visited twice", u)
+				}
+				seen[u] = true
+				if v := order[(i+1)%n]; !c.g.HasEdge(u, v) {
+					t.Fatalf("cycle uses missing edge %d->%d", u, v)
+				}
+			}
+		})
+	}
+}
+
+func TestRingEmbedding(t *testing.T) {
+	// On the unidirectional ring the embedding is the identity: port 0
+	// everywhere. This is what keeps ring-protocol trajectories on plain
+	// rings byte-identical to the pre-embedding code.
+	ports, err := Ring(9).RingEmbedding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ports {
+		if p != 0 {
+			t.Fatalf("ring node %d successor port = %d, want 0", i, p)
+		}
+	}
+	// On richer graphs every port must point at the cycle successor.
+	for name, g := range map[string]*Graph{
+		"biring": BiRing(8), "complete": Complete(6), "hypercube": Hypercube(3),
+	} {
+		ports, err := g.RingEmbedding()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		order, _ := g.HamiltonianCycle()
+		succ := make([]int, g.N())
+		for i, u := range order {
+			succ[u] = order[(i+1)%g.N()]
+		}
+		for u, p := range ports {
+			if got := g.Out(u)[p]; got != succ[u] {
+				t.Fatalf("%s: node %d port %d leads to %d, want %d", name, u, p, got, succ[u])
+			}
+		}
+	}
+	if _, err := Line(5).RingEmbedding(); err == nil {
+		t.Fatal("Line must not embed a ring")
+	}
+}

@@ -44,6 +44,9 @@
 //
 // The historical per-protocol entry points (RunElection, RunItaiRodehSync,
 // ...) remain as deprecated shims over Run with byte-identical outputs.
+// One deliberate break: configs that set both Delay and Links (previously
+// "Links wins, Delay ignored") now require Delta to declare the governing
+// δ — Env.Validate rejects the ambiguous declaration.
 //
 // The package also exposes the ABE model itself as machine-checkable
 // parameters (Params), an exhaustive bounded model checker for the
@@ -64,6 +67,7 @@ import (
 	"abenet/internal/core"
 	"abenet/internal/dist"
 	"abenet/internal/election"
+	"abenet/internal/faults"
 	"abenet/internal/harness"
 	"abenet/internal/live"
 	"abenet/internal/runner"
@@ -181,6 +185,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Horizon:    cfg.Horizon,
 		MaxEvents:  cfg.MaxEvents,
 		Tracer:     cfg.Tracer,
+		Faults:     cfg.Faults,
 	}, Election{
 		A0:                 cfg.A0,
 		TickInterval:       cfg.TickInterval,
@@ -203,6 +208,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		ResidualPurges: extra.ResidualPurges,
 		Violations:     rep.Violations,
 		Params:         rep.Params,
+		Faults:         rep.Faults,
 	}, nil
 }
 
@@ -248,6 +254,56 @@ func Erlang(k int, mean float64) DelayDist { return dist.NewErlang(k, mean) }
 // Bimodal mixes fast and slow delays (congestion peaks, case (i)).
 func Bimodal(fast, slow DelayDist, pSlow float64) DelayDist {
 	return dist.NewBimodal(fast, slow, pSlow)
+}
+
+// ---- Fault & churn injection ----
+
+// FaultPlan states deterministic fault injection for a run: stochastic
+// per-message loss/duplication/reorder, stochastic crash(-recovery) churn,
+// and scripted events (crashes, link outages, partitions). Set it on
+// Env.Faults; a nil plan keeps every run byte-identical to a fault-free
+// build. Honoured by the event-driven network protocols Election,
+// ChangRoberts and ItaiRodehAsync; the others — including Peterson, whose
+// step protocol requires reliable FIFO channels — reject a non-nil plan.
+// Pair lossy plans with a finite Env.Horizon — a protocol may (correctly)
+// never terminate once its messages are destroyed.
+type FaultPlan = faults.Plan
+
+// FaultEvent is one scripted fault; build them with CrashAt, RecoverAt,
+// LinkDownAt, LinkUpAt and PartitionDuring.
+type FaultEvent = faults.Event
+
+// FaultTelemetry is Report.Faults: what the plan actually did to the run.
+type FaultTelemetry = faults.Telemetry
+
+// CrashInterval is one node outage recorded in FaultTelemetry.
+type CrashInterval = faults.CrashInterval
+
+// CrashAt scripts a crash of node at virtual time t.
+func CrashAt(t float64, node int) FaultEvent { return faults.CrashAt(t, node) }
+
+// RecoverAt scripts a fresh restart (churn) of node at virtual time t.
+func RecoverAt(t float64, node int) FaultEvent { return faults.RecoverAt(t, node) }
+
+// LinkDownAt / LinkUpAt script an outage of the directed edge from→to.
+func LinkDownAt(t float64, from, to int) FaultEvent { return faults.LinkDownAt(t, from, to) }
+
+// LinkUpAt restores the directed edge from→to at virtual time t.
+func LinkUpAt(t float64, from, to int) FaultEvent { return faults.LinkUpAt(t, from, to) }
+
+// PartitionDuring scripts a partition separating group from the rest of
+// the network during [start, end): both the cut and the heal.
+func PartitionDuring(start, end float64, group ...int) []FaultEvent {
+	return faults.PartitionDuring(start, end, group...)
+}
+
+// ImpairedLinks wraps any link factory with stochastic per-message
+// impairments — the channel-layer mechanism behind FaultPlan's loss,
+// duplication and reorder axes, composable with ARQ and FIFO factories.
+func ImpairedLinks(inner LinkFactory, drop, duplicate, delay float64, extra DelayDist) LinkFactory {
+	return channel.ImpairedFactory(inner, channel.Impairment{
+		Drop: drop, Duplicate: duplicate, Delay: delay, ExtraDelay: extra,
+	})
 }
 
 // ---- Clock models (condition 2: speeds within [s_low, s_high]) ----
@@ -325,6 +381,7 @@ func asyncRingResult(rep Report) AsyncRingResult {
 		Leaders:     rep.Leaders,
 		Messages:    rep.Messages,
 		Time:        rep.Time,
+		Faults:      rep.Faults,
 	}
 }
 
@@ -341,7 +398,9 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Horizon:    cfg.Horizon,
 		MaxEvents:  cfg.MaxEvents,
+		Faults:     cfg.Faults,
 	}, ItaiRodehAsync{})
 	if err != nil {
 		return AsyncRingResult{}, err
@@ -375,7 +434,9 @@ func changRobertsEnv(cfg ChangRobertsConfig) Env {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Horizon:    cfg.Horizon,
 		MaxEvents:  cfg.MaxEvents,
+		Faults:     cfg.Faults,
 	}
 }
 

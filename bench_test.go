@@ -8,7 +8,8 @@ import (
 	"abenet/internal/experiments"
 )
 
-// One benchmark per experiment (E1..E12, DESIGN.md §5). Each iteration
+// One benchmark per experiment (E1..E13, DESIGN.md §5 plus the PR 3 fault
+// suite). Each iteration
 // executes the experiment in its reduced (Quick) configuration — the full
 // configurations are run by cmd/abe-bench, which regenerates the tables
 // recorded in EXPERIMENTS.md. Headline findings are attached as custom
@@ -84,6 +85,10 @@ func BenchmarkE11ClockDrift(b *testing.B) {
 
 func BenchmarkE12ProcessingDelay(b *testing.B) {
 	benchExperiment(b, experiments.E12Processing)
+}
+
+func BenchmarkE13LossResilience(b *testing.B) {
+	benchExperiment(b, experiments.E13LossResilience)
 }
 
 // ---- Micro-benchmarks of the core building blocks ----

@@ -6,11 +6,15 @@
 //
 //	abe-elect [-proto election] [-topo ring] [-n 16] [-a0 0] [-seed 1]
 //	          [-delay exp|det|uniform|pareto|arq] [-mean 1] [-drift 1]
-//	          [-gamma 0] [-trace] [-check] [-live]
+//	          [-gamma 0] [-loss 0] [-crash 0] [-recover 0] [-horizon 0]
+//	          [-trace] [-check] [-live]
 //
 // -proto accepts any registered protocol name (see -list); -topo accepts
 // ring, biring, complete or hypercube (ring protocols run along the
-// topology's embedded Hamiltonian cycle).
+// topology's embedded Hamiltonian cycle). -loss and -crash inject faults
+// (message loss, node churn) into fault-capable protocols; lossy runs are
+// bounded by -horizon, which defaults to 1000·δ when faults are injected
+// so a deadlocked election terminates the simulation instead of the user.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"abenet"
+	"abenet/internal/simtime"
 	"abenet/internal/trace"
 )
 
@@ -40,6 +45,10 @@ func run() error {
 	mean := flag.Float64("mean", 1, "expected link delay δ")
 	drift := flag.Float64("drift", 1, "clock speed ratio s_high/s_low (1 = perfect clocks)")
 	gamma := flag.Float64("gamma", 0, "expected processing time γ (0 = instantaneous)")
+	loss := flag.Float64("loss", 0, "per-message loss probability in [0, 1) (fault injection)")
+	crashRate := flag.Float64("crash", 0, "per-node exponential crash rate (fault injection)")
+	recoverRate := flag.Float64("recover", 0, "crashed-node recovery rate (0 with -crash = crash-stop churn off)")
+	horizon := flag.Float64("horizon", 0, "virtual-time bound (0 = unbounded, or 1000·δ when faults are on)")
 	withTrace := flag.Bool("trace", false, "print the full message trace")
 	withCheck := flag.Bool("check", false, "also model-check the election exhaustively at this size (n <= 5)")
 	liveMode := flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
@@ -98,6 +107,21 @@ func run() error {
 	}
 	if *gamma > 0 {
 		env.Processing = abenet.Exponential(*gamma)
+	}
+	if *loss > 0 || *crashRate > 0 {
+		env.Faults = &abenet.FaultPlan{
+			Loss:        *loss,
+			CrashRate:   *crashRate,
+			RecoverRate: *recoverRate,
+		}
+	} else if *recoverRate > 0 {
+		return fmt.Errorf("-recover %g needs -crash to recover from", *recoverRate)
+	}
+	if *horizon > 0 {
+		env.Horizon = simtime.Time(*horizon)
+	} else if env.Faults != nil {
+		// Lossy runs can deadlock legitimately; bound them by default.
+		env.Horizon = simtime.Time(1000 * *mean)
 	}
 
 	if *liveMode {
@@ -173,6 +197,29 @@ func run() error {
 	}
 	if extra, ok := rep.Extra.(abenet.SyncExtra); ok {
 		fmt.Printf("messages per round  : %.1f\n", extra.MessagesPerRound)
+	}
+	if tel := rep.Faults; tel != nil {
+		fmt.Printf("faults injected     : %d (dropped %d, duplicated %d, delayed %d, dead letters %d, crashes %d)\n",
+			tel.TotalFaults(), tel.MessagesDropped+tel.LinkDrops, tel.MessagesDuplicated,
+			tel.MessagesDelayed, tel.DeadLetters, tel.Crashes)
+		if tel.Crashes > 0 {
+			fmt.Printf("node churn          : %d crashes, %d recoveries\n", tel.Crashes, tel.Recoveries)
+			const maxIntervals = 10
+			for i, iv := range tel.CrashIntervals {
+				if i == maxIntervals {
+					fmt.Printf("  ... %d more outages\n", len(tel.CrashIntervals)-maxIntervals)
+					break
+				}
+				end := "end of run"
+				if iv.End >= 0 {
+					end = fmt.Sprintf("%.3f", iv.End)
+				}
+				fmt.Printf("  node %-3d down %.3f .. %s\n", iv.Node, iv.Start, end)
+			}
+		}
+		if !rep.Elected && rep.Leaders == 0 {
+			fmt.Printf("outcome             : no leader within the horizon (faults won this one)\n")
+		}
 	}
 	if len(rep.Violations) > 0 {
 		fmt.Printf("VIOLATIONS          : %v\n", rep.Violations)

@@ -6,6 +6,7 @@ import (
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
+	"abenet/internal/faults"
 	"abenet/internal/network"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
@@ -52,6 +53,11 @@ type ElectionConfig struct {
 	Seed uint64
 	// Tracer optionally observes the run.
 	Tracer network.Tracer
+	// Faults optionally injects message faults, node churn and link
+	// outages (see internal/faults). Nil keeps the run byte-identical to
+	// a fault-free build. Runs that can deadlock under loss should also
+	// set a finite Horizon.
+	Faults *faults.Plan
 }
 
 // ElectionResult summarises one election run.
@@ -82,6 +88,9 @@ type ElectionResult struct {
 	Violations []string
 	// Params are the tightest ABE parameters of the simulated network.
 	Params Params
+	// Faults is the fault-injection telemetry, nil unless the config set
+	// a fault plan.
+	Faults *faults.Telemetry
 }
 
 // RunElection builds an anonymous unidirectional ABE ring per cfg and runs
@@ -131,6 +140,11 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 	}
 
 	nodes := make([]*ElectionNode, n)
+	// Fault recovery restarts a node as a fresh instance (churn), but the
+	// dead incarnation's measurements — especially any recorded safety
+	// violations — must survive into the result, so fold them in before
+	// the slot is overwritten.
+	var retired ElectionResult
 	var buildErr error
 	net, err := network.New(network.Config{
 		Graph:      graph,
@@ -140,7 +154,14 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Seed:       cfg.Seed,
 		Anonymous:  true,
 		Tracer:     cfg.Tracer,
+		Faults:     cfg.Faults,
 	}, func(i int) network.Node {
+		if old := nodes[i]; old != nil {
+			retired.Activations += old.Activations
+			retired.Knockouts += old.Knockouts
+			retired.ResidualPurges += old.ResidualPurges
+			retired.Violations = append(retired.Violations, old.Violations...)
+		}
 		sendPort := 0
 		if sendPorts != nil {
 			sendPort = sendPorts[i]
@@ -171,7 +192,14 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		return ElectionResult{}, err
 	}
 
-	res := ElectionResult{LeaderIndex: -1, Params: ParamsOf(net)}
+	res := ElectionResult{
+		LeaderIndex:    -1,
+		Params:         ParamsOf(net),
+		Activations:    retired.Activations,
+		Knockouts:      retired.Knockouts,
+		ResidualPurges: retired.ResidualPurges,
+		Violations:     retired.Violations,
+	}
 	for i, node := range nodes {
 		if node.State() == Leader {
 			res.Leaders++
@@ -187,6 +215,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 	res.Messages = m.MessagesSent
 	res.Transmissions = m.Transmissions
 	res.Time = float64(net.Now())
+	res.Faults = net.FaultTelemetry()
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
+	"abenet/internal/faults"
 	"abenet/internal/network"
 	"abenet/internal/rng"
 	"abenet/internal/simtime"
@@ -97,8 +98,10 @@ type ChangRobertsConfig struct {
 	Clocks      clock.Model             // nil means perfect clocks
 	Processing  dist.Dist               // nil means instantaneous
 	Seed        uint64
+	Horizon     simtime.Time   // virtual-time bound; 0 means unbounded (fault plans should set it)
 	MaxEvents   uint64         // 0 means 50e6
 	Tracer      network.Tracer // optional run observer
+	Faults      *faults.Plan   // optional fault injection; nil changes nothing
 }
 
 // asyncRing converts to the shared resolution config.
@@ -125,6 +128,10 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	if maxEvents == 0 {
 		maxEvents = 50_000_000
 	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = simtime.Forever
+	}
 	ids, err := identityArrangement(n, cfg.Arrangement, cfg.Seed)
 	if err != nil {
 		return AsyncRingResult{}, err
@@ -138,6 +145,7 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
 		Tracer:     cfg.Tracer,
+		Faults:     cfg.Faults,
 	}, func(i int) network.Node {
 		nodes[i] = NewChangRobertsNode(ids[i])
 		nodes[i].sendPort = sendPortAt(ports, i)
@@ -146,7 +154,7 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
-	if err := net.Run(simtime.Forever, maxEvents); err != nil {
+	if err := net.Run(horizon, maxEvents); err != nil {
 		return AsyncRingResult{}, err
 	}
 	res := AsyncRingResult{LeaderIndex: -1}
@@ -159,6 +167,7 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	res.Elected = res.Leaders > 0
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
+	res.Faults = net.FaultTelemetry()
 	return res, nil
 }
 

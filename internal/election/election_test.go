@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"abenet/internal/dist"
+	"abenet/internal/faults"
 )
 
 func TestItaiRodehSyncElectsOneLeader(t *testing.T) {
@@ -241,5 +242,15 @@ func TestIdentityArrangements(t *testing.T) {
 			t.Fatalf("random arrangement invalid: %v", rnd)
 		}
 		seen[id] = true
+	}
+}
+
+// TestRunPetersonRejectsFaultPlans pins the engine-level guard: Peterson's
+// reliable-FIFO step protocol refuses fault plans even when called below
+// the runner layer.
+func TestRunPetersonRejectsFaultPlans(t *testing.T) {
+	_, err := RunPeterson(ChangRobertsConfig{N: 6, Seed: 1, Faults: &faults.Plan{Loss: 0.1}})
+	if err == nil {
+		t.Fatal("RunPeterson accepted a fault plan")
 	}
 }

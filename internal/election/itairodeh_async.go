@@ -6,6 +6,7 @@ import (
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
+	"abenet/internal/faults"
 	"abenet/internal/network"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
@@ -127,10 +128,16 @@ type AsyncRingConfig struct {
 	Processing dist.Dist
 	// Seed drives the run.
 	Seed uint64
+	// Horizon bounds virtual time; 0 means unbounded. Fault-injected runs
+	// can deadlock (every token lost), so they should set it.
+	Horizon simtime.Time
 	// MaxEvents guards against livelock; 0 means 50e6.
 	MaxEvents uint64
 	// Tracer optionally observes the run; nil disables tracing.
 	Tracer network.Tracer
+	// Faults optionally injects message faults, node churn and link
+	// outages; nil keeps the run byte-identical to a fault-free build.
+	Faults *faults.Plan
 }
 
 // resolve normalises the config into a concrete graph, ring size and
@@ -171,6 +178,8 @@ type AsyncRingResult struct {
 	Leaders     int
 	Messages    uint64
 	Time        float64
+	// Faults is the fault-injection telemetry, nil without a fault plan.
+	Faults *faults.Telemetry
 }
 
 // RunItaiRodehAsync runs the asynchronous Itai–Rodeh election on an
@@ -193,6 +202,10 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 	if maxEvents == 0 {
 		maxEvents = 50_000_000
 	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = simtime.Forever
+	}
 	nodes := make([]*ItaiRodehAsyncNode, n)
 	var buildErr error
 	net, err := network.New(network.Config{
@@ -203,6 +216,7 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 		Seed:       cfg.Seed,
 		Anonymous:  true,
 		Tracer:     cfg.Tracer,
+		Faults:     cfg.Faults,
 	}, func(i int) network.Node {
 		node, err := NewItaiRodehAsyncNode(n)
 		if err != nil {
@@ -219,7 +233,7 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
-	if err := net.Run(simtime.Forever, maxEvents); err != nil {
+	if err := net.Run(horizon, maxEvents); err != nil {
 		return AsyncRingResult{}, err
 	}
 	res := AsyncRingResult{LeaderIndex: -1}
@@ -232,6 +246,7 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 	res.Elected = res.Leaders > 0
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
+	res.Faults = net.FaultTelemetry()
 	return res, nil
 }
 

@@ -106,8 +106,14 @@ func (p *PetersonNode) OnMessage(ctx *network.Context, _ int, payload any) {
 }
 
 // RunPeterson runs Peterson's election on a unidirectional ring with
-// unique identities and FIFO links.
+// unique identities and FIFO links. Fault plans are rejected at this
+// layer too (not just in the runner): the step protocol hard-fails on the
+// gaps and overtakes every fault axis produces, so running one would
+// report a crash as a measurement.
 func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
+	if cfg.Faults != nil {
+		return AsyncRingResult{}, fmt.Errorf("election: Peterson requires reliable FIFO channels and supports no fault injection")
+	}
 	graph, n, ports, err := cfg.asyncRing().resolve()
 	if err != nil {
 		return AsyncRingResult{}, err
@@ -124,6 +130,10 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	if maxEvents == 0 {
 		maxEvents = 50_000_000
 	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = simtime.Forever
+	}
 	ids, err := identityArrangement(n, cfg.Arrangement, cfg.Seed)
 	if err != nil {
 		return AsyncRingResult{}, err
@@ -137,6 +147,7 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
 		Tracer:     cfg.Tracer,
+		Faults:     cfg.Faults,
 	}, func(i int) network.Node {
 		nodes[i] = NewPetersonNode(ids[i])
 		nodes[i].sendPort = sendPortAt(ports, i)
@@ -145,7 +156,7 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
-	if err := net.Run(simtime.Forever, maxEvents); err != nil {
+	if err := net.Run(horizon, maxEvents); err != nil {
 		return AsyncRingResult{}, err
 	}
 	res := AsyncRingResult{LeaderIndex: -1}
@@ -158,5 +169,6 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	res.Elected = res.Leaders > 0
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
+	res.Faults = net.FaultTelemetry()
 	return res, nil
 }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abenet/internal/channel"
+	"abenet/internal/faults"
+	"abenet/internal/harness"
+	"abenet/internal/runner"
+	"abenet/internal/simtime"
+	"abenet/internal/topology"
+)
+
+// lossLevels is the E13 loss-probability axis (acceptance range 0–20%).
+var lossLevels = []float64{0, 0.05, 0.10, 0.20}
+
+// e13Horizon bounds each run: under raw loss the election can (correctly)
+// deadlock once every token is destroyed, so termination within the
+// horizon is the measured quantity, not a given.
+const e13Horizon = simtime.Time(2000)
+
+// E13LossResilience regenerates the paper's Section 1 case (iii) argument
+// as a fault experiment: on lossy channels, *raw* loss breaks guaranteed
+// termination of the election (tokens vanish; the termination rate within
+// a fixed horizon decays with the loss probability), while stop-and-wait
+// ARQ over the same physical loss restores certain termination at the
+// price of delay — mean slot/p, i.e. expected-time inflation 1/p — which
+// is exactly the regime the ABE model was built to capture. Swept on ring
+// and hypercube topologies through the generic faults axis of the harness.
+func E13LossResilience(opt Options) (Result, error) {
+	res := Result{
+		ID:    "E13",
+		Claim: "raw message loss degrades election termination; ARQ links restore it at a 1/p delay cost (case (iii))",
+	}
+	table := harness.NewTable(
+		fmt.Sprintf("E13: election under loss 0–20%% (horizon %v, plain vs ARQ links)", e13Horizon),
+		"topology", "loss", "plain: terminated", "plain: time", "plain: dropped", "arq: terminated", "arq: time", "arq: retries")
+
+	reps := opt.reps(60)
+	topologies := []struct {
+		name  string
+		graph *topology.Graph // nil = unidirectional ring via Env.N
+		n     int
+	}{
+		{"ring", nil, 8},
+		{"hypercube", topology.Hypercube(3), 8},
+	}
+
+	findings := Findings{}
+	pass := true
+	for _, topo := range topologies {
+		base := runner.Env{Graph: topo.graph, Horizon: e13Horizon}
+		if topo.graph == nil {
+			base.N = topo.n
+		}
+
+		// Plain arm: messages are destroyed outright with probability x.
+		sweep := harness.Sweep{Name: "e13/plain/" + topo.name, Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
+		plain, err := sweep.RunFaults("election", base, lossLevels, func(x float64) *faults.Plan {
+			return &faults.Plan{Loss: x}
+		}, nil)
+		if err != nil {
+			return res, err
+		}
+
+		// ARQ arm: the same per-transmission loss rate handled by
+		// stop-and-wait retransmission — no message is ever lost, each
+		// just takes Geometric(1-x) slots. Delta declares the inflated δ
+		// so the election's balanced A0 adapts to the slower network.
+		arqSweep := harness.Sweep{Name: "e13/arq/" + topo.name, Repetitions: reps, Workers: opt.Workers, Seed: opt.Seed}
+		arq, err := arqSweep.RunEnv(lossLevels, func(x float64) (runner.Env, runner.Protocol, error) {
+			env := base
+			env.Links = channel.ARQFactory(1-x, 1)
+			env.Delta = 1 / (1 - x)
+			return env, runner.Election{}, nil
+		}, runner.RequireElected)
+		if err != nil {
+			return res, err
+		}
+
+		for i, loss := range lossLevels {
+			pTerm := plain[i].Mean("elected")
+			aTerm := arq[i].Mean("elected")
+			table.AddRow(topo.name, fmt.Sprintf("%.0f%%", loss*100),
+				fmt.Sprintf("%.0f%%", pTerm*100),
+				fmt.Sprintf("%.1f", plain[i].Mean("time")),
+				fmt.Sprintf("%.1f", plain[i].Mean("fault_dropped")),
+				fmt.Sprintf("%.0f%%", aTerm*100),
+				fmt.Sprintf("%.1f", arq[i].Mean("time")),
+				fmt.Sprintf("%.2f", arq[i].Mean("transmissions")/arq[i].Mean("messages")))
+			if aTerm != 1 {
+				pass = false // ARQ must never lose a message
+			}
+		}
+		// Loss-free plain runs must always elect; the lossiest plain runs
+		// must not beat them (termination is monotone enough to compare
+		// the endpoints without flaking on middle positions).
+		if plain[0].Mean("elected") != 1 ||
+			plain[len(lossLevels)-1].Mean("elected") > plain[0].Mean("elected") {
+			pass = false
+		}
+		findings["plain_term_rate_at_20_"+topo.name] = plain[len(lossLevels)-1].Mean("elected")
+		findings["arq_time_inflation_at_20_"+topo.name] =
+			arq[len(lossLevels)-1].Mean("time") / arq[0].Mean("time")
+	}
+
+	res.Table = table
+	res.Findings = findings
+	res.Pass = pass
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"abenet/internal/faults"
+	"abenet/internal/runner"
+)
+
+// PlanFunc builds the fault plan to inject at sweep position x (e.g. x is
+// a loss probability, a crash rate, or an outage length). Returning nil at
+// a position runs that position fault-free — the natural baseline for the
+// x = 0 end of a severity axis.
+type PlanFunc func(x float64) *faults.Plan
+
+// RunFaults sweeps a fault-severity axis: at every position in xs it runs
+// the named registry protocol on base with plan(x) injected, Repetitions
+// times with derived seeds, and aggregates runner.Report.Metrics() — which
+// under a plan includes the fault telemetry ("fault_dropped",
+// "fault_crashes", ...) next to the outcome ("elected", "time") — into one
+// Point per position.
+//
+// base carries the environment shared across positions (N or Graph, Delay
+// or Links, Horizon). Plans with message loss can deadlock a protocol, so
+// base.Horizon must be finite whenever any position's plan injects loss;
+// RunFaults enforces that eagerly rather than letting a sweep burn its
+// event budget first.
+//
+// check, when non-nil, validates every repetition (note runner.
+// RequireElected is usually wrong here: non-termination under faults is a
+// measurement, not an error — read the "elected" metric instead).
+func (s Sweep) RunFaults(protocol string, base runner.Env, xs []float64, plan PlanFunc, check func(runner.Report) error) ([]Point, error) {
+	proto, ok := runner.ProtocolByName(protocol)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown protocol %q (have %v)", protocol, runner.Protocols())
+	}
+	if plan == nil {
+		return nil, errors.New("harness: nil plan function (use RunProtocol for fault-free sweeps)")
+	}
+	if base.Faults != nil {
+		return nil, errors.New("harness: base.Faults must be unset; RunFaults injects plan(x) per position")
+	}
+	for _, x := range xs {
+		if p := plan(x); p != nil && p.Loss > 0 && base.Horizon == 0 {
+			return nil, fmt.Errorf("harness: plan at x=%g injects loss but base.Horizon is unbounded; lossy runs can deadlock", x)
+		}
+	}
+	return s.RunEnv(xs, func(x float64) (runner.Env, runner.Protocol, error) {
+		env := base
+		env.Faults = plan(x)
+		return env, proto, nil
+	}, check)
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"abenet/internal/faults"
+	"abenet/internal/runner"
+	"abenet/internal/simtime"
+)
+
+// TestRunFaultsLossAxis sweeps the election across a loss axis and checks
+// the aggregated points carry both outcome and fault-telemetry metrics.
+func TestRunFaultsLossAxis(t *testing.T) {
+	sweep := Sweep{Name: "faultsweep", Repetitions: 20, Seed: 9}
+	base := runner.Env{N: 8, Horizon: simtime.Time(3000)}
+	losses := []float64{0, 0.1}
+	points, err := sweep.RunFaults("election", base, losses, func(x float64) *faults.Plan {
+		return &faults.Plan{Loss: x}
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if rate := points[0].Mean("elected"); rate != 1 {
+		t.Fatalf("loss-free termination rate = %g, want 1", rate)
+	}
+	if points[0].Mean("fault_dropped") != 0 {
+		t.Fatal("loss-free position dropped messages")
+	}
+	if points[1].Mean("fault_dropped") == 0 {
+		t.Fatal("lossy position dropped nothing")
+	}
+	// The telemetry keys exist at both positions (constant key set per
+	// sweep), because both positions carried a plan.
+	for _, p := range points {
+		if _, ok := p.Samples["fault_crashes"]; !ok {
+			t.Fatalf("x=%g missing fault telemetry keys: %v", p.X, MetricNames(points))
+		}
+	}
+}
+
+func TestRunFaultsGuards(t *testing.T) {
+	sweep := Sweep{Name: "guards", Repetitions: 2, Seed: 1}
+	base := runner.Env{N: 4}
+	lossy := func(x float64) *faults.Plan { return &faults.Plan{Loss: 0.5} }
+
+	if _, err := sweep.RunFaults("no-such", base, []float64{0}, lossy, nil); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := sweep.RunFaults("election", base, []float64{0}, nil, nil); err == nil {
+		t.Fatal("nil plan function accepted")
+	}
+	if _, err := sweep.RunFaults("election", base, []float64{0}, lossy, nil); err == nil ||
+		!strings.Contains(err.Error(), "Horizon") {
+		t.Fatalf("lossy plan without horizon accepted: %v", err)
+	}
+	base.Faults = &faults.Plan{Loss: 0.1}
+	if _, err := sweep.RunFaults("election", base, []float64{0}, lossy, nil); err == nil {
+		t.Fatal("pre-set base.Faults accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
+	"abenet/internal/faults"
 	"abenet/internal/rng"
 	"abenet/internal/sim"
 	"abenet/internal/simtime"
@@ -74,6 +75,10 @@ type Config struct {
 	Anonymous bool
 	// Tracer observes events; nil disables tracing.
 	Tracer Tracer
+	// Faults optionally injects deterministic message faults, node churn
+	// and link outages (see internal/faults). Nil disables the subsystem
+	// entirely: the run is byte-identical to one without it.
+	Faults *faults.Plan
 }
 
 // Network is a runnable protocol deployment. Create one with New, then Run.
@@ -88,6 +93,8 @@ type Network struct {
 	nextFree []simtime.Time // per-node completion time of the busy server
 	metrics  Metrics
 	procMean float64
+	makeNode func(i int) Node // retained for fault-recovery restarts
+	life     *lifecycle       // nil unless cfg.Faults is set
 }
 
 // edgeAddress identifies the receiving side of a directed edge.
@@ -123,9 +130,23 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 		links:    make([][]channel.Link, n),
 		clocks:   make([]clock.Clock, n),
 		nextFree: make([]simtime.Time, n),
+		makeNode: makeNode,
 	}
 	if cfg.Processing != nil {
 		net.procMean = cfg.Processing.Mean()
+	}
+	if cfg.Faults != nil {
+		life, err := newLifecycle(net, cfg.Faults, root)
+		if err != nil {
+			return nil, fmt.Errorf("network: %w", err)
+		}
+		net.life = life
+		if cfg.Faults.HasLinkFaults() {
+			// The interceptor derives its stream off each edge stream, so
+			// the inner links sample exactly as they would unwrapped.
+			cfg.Links = channel.ImpairedFactory(cfg.Links, impairment(cfg.Faults))
+			net.cfg.Links = cfg.Links
+		}
 	}
 
 	for i := 0; i < n; i++ {
@@ -163,31 +184,53 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 			edgeIndex++
 		}
 	}
+	if net.life != nil {
+		net.life.indexPorts()
+	}
 	return net, nil
 }
 
 // deliverFunc returns the link callback delivering into the destination's
-// processing queue.
+// processing queue. Deliveries to a crashed node are suppressed (counted
+// as dead letters), deterministically: the suppression depends only on the
+// node's fault schedule.
 func (net *Network) deliverFunc(addr edgeAddress) channel.DeliverFunc {
 	return func(payload any) {
+		if net.life != nil && net.life.down[addr.to] {
+			net.life.tel.DeadLetters++
+			return
+		}
 		net.metrics.MessagesDelivered++
 		if net.cfg.Tracer != nil {
 			net.cfg.Tracer.MessageDelivered(net.kernel.Now(), addr.from, addr.to, payload)
 		}
-		ctx := net.ctxs[addr.to]
-		net.process(addr.to, func() {
-			net.nodes[addr.to].OnMessage(ctx, addr.inPort, payload)
+		net.process(addr.to, deadLetterCounter, func() {
+			net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
 		})
 	}
 }
 
+// Suppression counters for work that dies in a node's processing queue
+// when the node crashes mid-queue: messages count as dead letters, timer
+// handlers as suppressed timers.
+const (
+	deadLetterCounter = iota
+	timerCounter
+)
+
 // process runs work for node v after the node's processing delay, modelling
 // each node as a single busy server: events queue and are handled in FIFO
-// completion order. With no processing model the work runs inline.
-func (net *Network) process(v int, work func()) {
+// completion order. With no processing model the work runs inline. Under
+// fault injection, work queued before a crash (or restart) is stale and is
+// suppressed at completion time via the node's epoch, charged to the
+// counter selected by counterKind.
+func (net *Network) process(v, counterKind int, work func()) {
 	if net.cfg.Processing == nil {
 		work()
 		return
+	}
+	if net.life != nil {
+		work = net.life.guard(v, net.life.suppressionCounter(counterKind), work)
 	}
 	now := net.kernel.Now()
 	start := now
@@ -204,8 +247,17 @@ func (net *Network) process(v int, work func()) {
 // A protocol-requested stop (Context.StopNetwork) is a clean completion and
 // returns nil.
 func (net *Network) Run(horizon simtime.Time, maxEvents uint64) error {
+	if net.life != nil {
+		net.life.applyAtTimeZero()
+	}
 	for i, node := range net.nodes {
+		if net.life != nil && net.life.down[i] {
+			continue // crashed from t = 0: Init runs at recovery, if any
+		}
 		node.Init(net.ctxs[i])
+	}
+	if net.life != nil {
+		net.life.install()
 	}
 	err := net.kernel.Run(horizon, maxEvents)
 	if errors.Is(err, sim.ErrStopped) {
@@ -253,6 +305,20 @@ func (net *Network) MaxLinkMeanDelay() float64 {
 // ClockBounds returns the clock model's (s_low, s_high).
 func (net *Network) ClockBounds() (low, high float64) { return net.cfg.Clocks.Bounds() }
 
+// FaultTelemetry returns a snapshot of the run's fault telemetry (what the
+// configured faults.Plan actually did), or nil when the network was built
+// without fault injection.
+func (net *Network) FaultTelemetry() *faults.Telemetry {
+	if net.life == nil {
+		return nil
+	}
+	return net.life.telemetry()
+}
+
+// NodeDown reports whether node i is currently crashed (always false
+// without fault injection).
+func (net *Network) NodeDown(i int) bool { return net.life != nil && net.life.down[i] }
+
 // ProcessingMean returns the mean event-processing time — the tightest γ
 // for Definition 1, condition 3 (0 if processing is instantaneous).
 func (net *Network) ProcessingMean() float64 { return net.procMean }
@@ -288,7 +354,9 @@ func (c *Context) OutDegree() int { return len(c.net.links[c.id]) }
 // InDegree returns the number of incoming ports.
 func (c *Context) InDegree() int { return len(c.net.cfg.Graph.In(c.id)) }
 
-// Send transmits payload on the given out-port.
+// Send transmits payload on the given out-port. A send on a link taken
+// down by a scripted outage or partition counts as sent but is dropped at
+// the link boundary (messages already in flight still arrive).
 func (c *Context) Send(outPort int, payload any) {
 	links := c.net.links[c.id]
 	if outPort < 0 || outPort >= len(links) {
@@ -299,6 +367,10 @@ func (c *Context) Send(outPort int, payload any) {
 		to := c.net.cfg.Graph.Out(c.id)[outPort]
 		c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, to, payload)
 	}
+	if life := c.net.life; life != nil && life.portDown(c.id, outPort) {
+		life.tel.LinkDrops++
+		return
+	}
 	links[outPort].Send(payload)
 }
 
@@ -307,20 +379,26 @@ func (c *Context) LocalTime() float64 { return c.net.clocks[c.id].LocalAt(c.net.
 
 // SetLocalTimer schedules OnTimer(kind) to fire when the node's local clock
 // has advanced by localDelta (> 0). The returned ticket can cancel it.
+// Timers belong to the incarnation that set them: if the node crashes (or
+// crashes and restarts) before the fire instant, the fire is suppressed.
 func (c *Context) SetLocalTimer(localDelta float64, kind int) *sim.Ticket {
 	if localDelta <= 0 {
 		panic(fmt.Sprintf("network: local timer delta %g must be positive", localDelta))
 	}
 	at := c.net.clocks[c.id].RealAfterLocal(c.net.kernel.Now(), localDelta)
-	return c.net.kernel.At(at, func() {
+	fire := func() {
 		c.net.metrics.TimersFired++
 		if c.net.cfg.Tracer != nil {
 			c.net.cfg.Tracer.TimerFired(c.net.kernel.Now(), c.id, kind)
 		}
-		c.net.process(c.id, func() {
+		c.net.process(c.id, timerCounter, func() {
 			c.net.nodes[c.id].OnTimer(c, kind)
 		})
-	})
+	}
+	if life := c.net.life; life != nil {
+		fire = life.guard(c.id, &life.tel.TimersSuppressed, fire)
+	}
+	return c.net.kernel.At(at, fire)
 }
 
 // Rand returns the node's private random stream.

@@ -66,6 +66,7 @@ func (p Election) Run(env Env) (Report, error) {
 		MaxEvents:          env.MaxEvents,
 		Seed:               env.Seed,
 		Tracer:             env.Tracer,
+		Faults:             env.Faults,
 	})
 	if err != nil {
 		return Report{}, err
@@ -79,6 +80,7 @@ func (p Election) Run(env Env) (Report, error) {
 		Time:          res.Time,
 		Violations:    res.Violations,
 		Params:        res.Params,
+		Faults:        res.Faults,
 		Extra: ElectionExtra{
 			Activations:    res.Activations,
 			Knockouts:      res.Knockouts,
@@ -112,6 +114,9 @@ func (ItaiRodehSync) Name() string { return "itai-rodeh-sync" }
 // Run implements Protocol.
 func (p ItaiRodehSync) Run(env Env) (Report, error) {
 	if _, err := env.size(); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectFaults(p.Name()); err != nil {
 		return Report{}, err
 	}
 	res, err := election.RunItaiRodehSyncConfig(election.ItaiRodehSyncConfig{
@@ -152,8 +157,10 @@ func (ItaiRodehAsync) Run(env Env) (Report, error) {
 		Clocks:     env.Clocks,
 		Processing: env.Processing,
 		Seed:       env.Seed,
+		Horizon:    env.Horizon,
 		MaxEvents:  env.MaxEvents,
 		Tracer:     env.Tracer,
+		Faults:     env.Faults,
 	})
 	if err != nil {
 		return Report{}, err
@@ -169,6 +176,7 @@ func asyncRingReport(res election.AsyncRingResult) Report {
 		Leaders:     res.Leaders,
 		Messages:    res.Messages,
 		Time:        res.Time,
+		Faults:      res.Faults,
 	}
 }
 
@@ -204,6 +212,12 @@ func (Peterson) Name() string { return "peterson" }
 
 // Run implements Protocol.
 func (p Peterson) Run(env Env) (Report, error) {
+	// Peterson's step protocol requires reliable FIFO channels and panics
+	// on gaps; every fault axis violates that contract, so reject plans
+	// instead of reporting a crash as a measurement.
+	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
+	}
 	res, err := election.RunPeterson(changRobertsConfig(env, p.Arrangement))
 	if err != nil {
 		return Report{}, err
@@ -221,8 +235,10 @@ func changRobertsConfig(env Env, a election.ChangRobertsArrangement) election.Ch
 		Clocks:      env.Clocks,
 		Processing:  env.Processing,
 		Seed:        env.Seed,
+		Horizon:     env.Horizon,
 		MaxEvents:   env.MaxEvents,
 		Tracer:      env.Tracer,
+		Faults:      env.Faults,
 	}
 }
 
@@ -248,6 +264,9 @@ func (Synchronized) Name() string { return "synchronized" }
 func (p Synchronized) Run(env Env) (Report, error) {
 	if p.MakeNode == nil {
 		return Report{}, fmt.Errorf("runner: synchronized protocol needs a MakeNode constructor")
+	}
+	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
 	}
 	kind := p.Kind
 	if kind == 0 {
@@ -385,6 +404,9 @@ func (ClockSync) Name() string { return "clock-sync" }
 
 // Run implements Protocol.
 func (p ClockSync) Run(env Env) (Report, error) {
+	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
+	}
 	graph, err := env.graph()
 	if err != nil {
 		return Report{}, err
@@ -447,6 +469,9 @@ func (LiveElection) Name() string { return "live-election" }
 func (p LiveElection) Run(env Env) (Report, error) {
 	n, err := env.size()
 	if err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectFaults(p.Name()); err != nil {
 		return Report{}, err
 	}
 	if env.Graph != nil && !isUnidirectionalRing(env.Graph) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"abenet/internal/core"
+	"abenet/internal/faults"
 )
 
 // Report is the common result shape of every protocol run. Fields that do
@@ -39,6 +40,11 @@ type Report struct {
 	// (zero for engines that do not model delays, e.g. the native
 	// synchronous round engine).
 	Params core.Params
+	// Faults is the fault-injection telemetry — what Env.Faults actually
+	// did to the run (drops, duplicates, crash intervals) next to whether
+	// the protocol still terminated correctly (Elected, Leaders,
+	// Violations, Time). Nil when the environment injected no faults.
+	Faults *faults.Telemetry
 	// Extra holds the protocol-specific measurements as one of the typed
 	// *Extra structs in this package, or nil.
 	Extra any
@@ -63,6 +69,15 @@ func (r Report) Metrics() map[string]float64 {
 		"leaders":       float64(r.Leaders),
 		"violations":    float64(len(r.Violations)),
 	}
+	if r.Elected {
+		m["elected"] = 1
+	} else {
+		m["elected"] = 0
+	}
+	// Fault telemetry appears whenever a plan was injected (even one that
+	// happened to fire nothing), so a fault sweep sees the keys at every
+	// position including the zero-severity baseline.
+	r.Faults.MetricsInto(m)
 	if x, ok := r.Extra.(extraMetrics); ok {
 		x.metricsInto(m)
 	}

@@ -19,10 +19,12 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
+	"abenet/internal/faults"
 	"abenet/internal/network"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
@@ -77,6 +79,75 @@ type Env struct {
 	// the round-engine and synchronizer protocols have no event stream to
 	// trace and ignore it.
 	Tracer network.Tracer
+	// Faults optionally injects deterministic message faults, node churn
+	// and link outages (see internal/faults). Honoured by the event-driven
+	// network protocols Election, ChangRoberts and ItaiRodehAsync (whose
+	// FIFO assumption tolerates loss and duplication but not Reorder —
+	// reordering an Itai–Rodeh ring measures an assumption violation, not
+	// a robustness property). The remaining protocols, including Peterson
+	// (whose step protocol hard-fails on any gap), reject a non-nil plan
+	// rather than silently running fault-free. Nil keeps every run
+	// byte-identical to a fault-free build. Plans with message loss can
+	// deadlock a protocol, so pair them with a finite Horizon.
+	Faults *faults.Plan
+}
+
+// The structured environment-validation errors. Env.Validate wraps each
+// in context, so callers can classify failures with errors.Is.
+var (
+	// ErrEnvSize: the environment describes no valid network size (N < 2
+	// without a Graph, or N disagreeing with the Graph's size).
+	ErrEnvSize = errors.New("runner: invalid network size")
+	// ErrEnvDelta: the declared δ is negative or not finite.
+	ErrEnvDelta = errors.New("runner: invalid Delta")
+	// ErrEnvAmbiguousDelay: Links and Delay are both set but no Delta
+	// declares which mean parameterises the protocol defaults.
+	ErrEnvAmbiguousDelay = errors.New("runner: ambiguous delay declaration")
+	// ErrEnvFaults: the fault plan fails faults.Plan.Validate.
+	ErrEnvFaults = errors.New("runner: invalid fault plan")
+)
+
+// Validate checks the environment's internal consistency and returns a
+// structured error (wrapping one of the ErrEnv* sentinels) describing the
+// first violation, or nil. Run calls it, so every protocol rejects an
+// invalid Env identically instead of each engine re-checking a slice of
+// the rules.
+func (e Env) Validate() error {
+	n, err := e.size()
+	if err != nil {
+		return err
+	}
+	if e.Delta < 0 || math.IsNaN(e.Delta) || math.IsInf(e.Delta, 0) {
+		return fmt.Errorf("%w: Delta = %g must be a non-negative finite bound on the expected delay", ErrEnvDelta, e.Delta)
+	}
+	if e.Links != nil && e.Delay != nil && e.Delta == 0 {
+		return fmt.Errorf("%w: both Links and Delay are set; declare Delta to state which mean parameterises the protocol defaults (Links wins at run time)", ErrEnvAmbiguousDelay)
+	}
+	if err := e.Faults.Validate(n); err != nil {
+		return fmt.Errorf("%w: %v", ErrEnvFaults, err)
+	}
+	// Per-edge fault events must name edges of the concrete topology — a
+	// direction typo would otherwise surface later, unwrapped and
+	// protocol-dependent, instead of as a uniform ErrEnvFaults here.
+	if e.Faults != nil {
+		var g *topology.Graph
+		for i, ev := range e.Faults.Events {
+			if ev.Kind != faults.KindLinkDown && ev.Kind != faults.KindLinkUp {
+				continue
+			}
+			if g == nil {
+				var err error
+				if g, err = e.graph(); err != nil {
+					return err
+				}
+			}
+			if !g.HasEdge(ev.From, ev.To) {
+				return fmt.Errorf("%w: event %d (%s at t=%g): edge %d->%d is not in the topology",
+					ErrEnvFaults, i, ev.Kind, ev.At, ev.From, ev.To)
+			}
+		}
+	}
+	return nil
 }
 
 // size returns the network size the environment describes.
@@ -84,14 +155,26 @@ func (e Env) size() (int, error) {
 	if e.Graph != nil {
 		n := e.Graph.N()
 		if e.N != 0 && e.N != n {
-			return 0, fmt.Errorf("runner: env.N = %d disagrees with graph size %d", e.N, n)
+			return 0, fmt.Errorf("%w: env.N = %d disagrees with graph size %d", ErrEnvSize, e.N, n)
 		}
 		return n, nil
 	}
 	if e.N < 2 {
-		return 0, fmt.Errorf("runner: env needs N >= 2 (or a Graph), got N = %d", e.N)
+		return 0, fmt.Errorf("%w: env needs N >= 2 (or a Graph), got N = %d", ErrEnvSize, e.N)
 	}
 	return e.N, nil
+}
+
+// rejectFaults is the guard protocols without a fault-capable engine call
+// first: silently ignoring a fault plan would report fault-free numbers as
+// if they had been measured under faults. Peterson also rejects plans —
+// its step protocol hard-fails (by design) on the message gaps and
+// overtakes every fault axis produces.
+func (e Env) rejectFaults(name string) error {
+	if e.Faults != nil {
+		return fmt.Errorf("runner: protocol %q does not support fault injection (Env.Faults is honoured by election, chang-roberts and itai-rodeh-async)", name)
+	}
+	return nil
 }
 
 // graph returns the concrete topology (building the default ring).
@@ -150,14 +233,14 @@ type Protocol interface {
 }
 
 // Run executes protocol p on environment env: the single entry point every
-// facade function, tool and sweep goes through. The environment's size
-// invariants (N >= 2 or a Graph; N matching the graph when both are set)
-// are checked here so every protocol rejects an invalid Env identically.
+// facade function, tool and sweep goes through. The environment is checked
+// by Env.Validate here, so every protocol rejects an invalid Env
+// identically.
 func Run(env Env, p Protocol) (Report, error) {
 	if p == nil {
 		return Report{}, errors.New("runner: nil protocol")
 	}
-	if _, err := env.size(); err != nil {
+	if err := env.Validate(); err != nil {
 		return Report{}, err
 	}
 	rep, err := p.Run(env)

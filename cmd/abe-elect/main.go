@@ -7,7 +7,8 @@
 //	abe-elect [-proto election] [-topo ring] [-n 16] [-a0 0] [-seed 1]
 //	          [-delay exp|det|uniform|pareto|arq] [-mean 1] [-drift 1]
 //	          [-gamma 0] [-loss 0] [-crash 0] [-recover 0] [-horizon 0]
-//	          [-trace] [-check] [-live]
+//	          [-trace] [-check] [-live] [-json]
+//	abe-elect -spec scenario.json [-seed N] [-workers N] [-dry-run] [-json]
 //
 // -proto accepts any registered protocol name (see -list); -topo accepts
 // ring, biring, complete or hypercube (ring protocols run along the
@@ -15,15 +16,26 @@
 // (message loss, node churn) into fault-capable protocols; lossy runs are
 // bounded by -horizon, which defaults to 1000·δ when faults are injected
 // so a deadlocked election terminates the simulation instead of the user.
+//
+// -spec runs a declarative scenario file (the internal/spec JSON schema)
+// through exactly the same runner.Run path as the flags — and as
+// abe-serve — so the three doors produce byte-identical reports for the
+// same (scenario, seed). A spec with a "sweep" block renders the
+// aggregated table instead ( -workers bounds its parallelism); -dry-run
+// validates the file and prints its scenario hash without running.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"abenet"
 	"abenet/internal/simtime"
+	"abenet/internal/spec"
 	"abenet/internal/trace"
 )
 
@@ -32,6 +44,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abe-elect:", err)
 		os.Exit(1)
 	}
+}
+
+// traceable names the protocols with an event stream to trace.
+var traceable = map[string]bool{
+	"election": true, "itai-rodeh-async": true,
+	"chang-roberts": true, "peterson": true,
 }
 
 func run() error {
@@ -52,13 +70,51 @@ func run() error {
 	withTrace := flag.Bool("trace", false, "print the full message trace")
 	withCheck := flag.Bool("check", false, "also model-check the election exhaustively at this size (n <= 5)")
 	liveMode := flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
+	specPath := flag.String("spec", "", "run a declarative scenario file instead of building one from flags")
+	dryRun := flag.Bool("dry-run", false, "with -spec: validate the file and print its hash without running")
+	workers := flag.Int("workers", 0, "sweep parallelism for -spec sweeps (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "print the report as JSON (machine-readable)")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *list {
 		for _, name := range abenet.Protocols() {
 			fmt.Println(name)
 		}
 		return nil
+	}
+
+	// The live runtime has no fault injection: naming both on one command
+	// line is a contradiction, not a request to ignore the fault flags.
+	if *liveMode && (set["loss"] || set["crash"] || set["recover"]) {
+		return fmt.Errorf("-live cannot be combined with -loss/-crash/-recover: the live goroutine runtime has no fault injection; drop -live to run the fault plan on the simulator")
+	}
+
+	if *specPath != "" {
+		// A spec file states the whole scenario; flags that would fight it
+		// are rejected rather than silently losing.
+		conflicting := []string{"proto", "topo", "n", "a0", "delay", "mean", "drift", "gamma",
+			"loss", "crash", "recover", "horizon", "live", "check"}
+		var clash []string
+		for _, name := range conflicting {
+			if set[name] {
+				clash = append(clash, "-"+name)
+			}
+		}
+		if len(clash) > 0 {
+			sort.Strings(clash)
+			return fmt.Errorf("-spec states the scenario; drop %v (only -seed, -trace, -workers, -json and -dry-run combine with it)", clash)
+		}
+		var seedOverride *uint64
+		if set["seed"] {
+			seedOverride = seed
+		}
+		return runSpec(*specPath, seedOverride, *workers, *dryRun, *withTrace, *jsonOut)
+	}
+	if *dryRun {
+		return fmt.Errorf("-dry-run requires -spec")
 	}
 
 	env := abenet.Env{Seed: *seed}
@@ -129,6 +185,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			return printJSON(rep, "")
+		}
 		fmt.Printf("live run on %d goroutines (real concurrency, wall-clock delays)\n", *n)
 		fmt.Printf("leader   : node %d (of %d leaders)\n", rep.LeaderIndex, rep.Leaders)
 		fmt.Printf("messages : %d\n", rep.Messages)
@@ -144,18 +203,15 @@ func run() error {
 		protocol = abenet.Election{A0: *a0}
 	}
 
-	var rec *trace.Recorder
-	if *withTrace {
-		// Only the event-driven protocols have a message stream to trace.
-		traceable := map[string]bool{
-			"election": true, "itai-rodeh-async": true,
-			"chang-roberts": true, "peterson": true,
-		}
-		if !traceable[*proto] {
-			return fmt.Errorf("-trace is not supported for %q (round-engine and synchronizer protocols have no event stream)", *proto)
-		}
-		rec = trace.NewRecorder(0)
-		env.Tracer = rec
+	// -check is flag-only validation: fail before the simulation runs, not
+	// after it has already spent the work.
+	if *withCheck && *n > 5 {
+		return fmt.Errorf("-check supports n <= 5 (state space), got %d", *n)
+	}
+
+	rec, err := newRecorder(*withTrace, *proto, &env)
+	if err != nil {
+		return err
 	}
 
 	rep, err := abenet.Run(env, protocol)
@@ -163,15 +219,196 @@ func run() error {
 		return err
 	}
 
-	if rec != nil {
-		if _, err := rec.WriteTo(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
+	if err := flushTrace(rec, *jsonOut); err != nil {
+		return err
 	}
 
+	// Run the model check before rendering so its outcome can live inside
+	// the JSON document: -json promises one parseable value on stdout.
+	var check *abenet.CheckReport
+	if *withCheck {
+		report, err := abenet.CheckElection(abenet.CheckOptions{N: *n})
+		if err != nil {
+			return err
+		}
+		check = &report
+	}
+
+	if *jsonOut {
+		out := reportJSON(rep, "")
+		if check != nil {
+			out["model_check"] = map[string]any{
+				"safe":            check.OK(),
+				"states_explored": check.StatesExplored,
+				"leader_states":   check.LeaderStates,
+				"violations":      len(check.Violations),
+			}
+		}
+		return encodeJSON(out)
+	}
+	printReport(rep, *topo, size)
+	if check != nil {
+		verdict := "SAFE (exhaustive within 2 activations/node)"
+		if !check.OK() {
+			verdict = fmt.Sprintf("%d VIOLATIONS", len(check.Violations))
+		}
+		fmt.Printf("model check         : %s — %d states, %d with a leader\n",
+			verdict, check.StatesExplored, check.LeaderStates)
+	}
+	return nil
+}
+
+// runSpec executes (or just validates) a scenario file.
+func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, jsonOut bool) error {
+	s, err := spec.DecodeFile(path)
+	if err != nil {
+		return err
+	}
+	if seedOverride != nil {
+		s.Env.Seed = *seedOverride
+	}
+	hash, err := s.Hash()
+	if err != nil {
+		return err
+	}
+
+	if dryRun {
+		kind := "run"
+		if s.Sweep != nil {
+			kind = fmt.Sprintf("sweep over %v", s.Sweep.Xs)
+		}
+		if jsonOut {
+			return encodeJSON(map[string]any{
+				"spec":      path,
+				"spec_hash": hash,
+				"protocol":  s.Protocol.Name,
+				"kind":      kind,
+				"seed":      s.Env.Seed,
+				"valid":     true,
+			})
+		}
+		fmt.Printf("spec      : %s\n", path)
+		fmt.Printf("hash      : %s\n", hash)
+		fmt.Printf("protocol  : %s\n", s.Protocol.Name)
+		fmt.Printf("kind      : %s\n", kind)
+		fmt.Printf("seed      : %d\n", s.Env.Seed)
+		fmt.Println("status    : valid")
+		return nil
+	}
+
+	if s.Sweep != nil {
+		if withTrace {
+			return fmt.Errorf("-trace applies to single runs, not sweeps")
+		}
+		points, err := s.RunSweep(workers)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return encodeJSON(map[string]any{
+				"spec_hash": hash,
+				"seed":      s.Env.Seed,
+				"protocol":  s.Protocol.Name,
+				"points":    spec.SweepView(points, s.Sweep.Metrics),
+			})
+		}
+		table := abenet.PointsTable(fmt.Sprintf("%s (spec %s)", s.Protocol.Name, hash[:12]), "n",
+			spec.FilterPoints(points, s.Sweep.Metrics))
+		return table.Render(os.Stdout)
+	}
+
+	env, protocol, err := s.Build()
+	if err != nil {
+		return err
+	}
+	rec, err := newRecorder(withTrace, s.Protocol.Name, &env)
+	if err != nil {
+		return err
+	}
+	rep, err := abenet.Run(env, protocol)
+	if err != nil {
+		return err
+	}
+	if err := flushTrace(rec, jsonOut); err != nil {
+		return err
+	}
+	if jsonOut {
+		return printJSON(rep, hash)
+	}
+	label := "ring"
+	if s.Env.Topology != nil {
+		label = s.Env.Topology.Name
+	}
+	size := env.N
+	if env.Graph != nil {
+		size = env.Graph.N()
+	}
+	fmt.Printf("spec                : %s (hash %s)\n", path, hash[:12])
+	printReport(rep, label, size)
+	return nil
+}
+
+// newRecorder attaches a trace recorder to the environment when requested.
+func newRecorder(withTrace bool, proto string, env *abenet.Env) (*trace.Recorder, error) {
+	if !withTrace {
+		return nil, nil
+	}
+	// Only the event-driven protocols have a message stream to trace.
+	if !traceable[proto] {
+		return nil, fmt.Errorf("-trace is not supported for %q (round-engine and synchronizer protocols have no event stream)", proto)
+	}
+	rec := trace.NewRecorder(0)
+	env.Tracer = rec
+	return rec, nil
+}
+
+// flushTrace prints the recorded trace, if any. Under -json the trace goes
+// to stderr so stdout stays one parseable JSON value.
+func flushTrace(rec *trace.Recorder, jsonOut bool) error {
+	if rec == nil {
+		return nil
+	}
+	dest := io.Writer(os.Stdout)
+	if jsonOut {
+		dest = os.Stderr
+	}
+	if _, err := rec.WriteTo(dest); err != nil {
+		return err
+	}
+	fmt.Fprintln(dest)
+	return nil
+}
+
+// reportJSON assembles the machine-readable report (the same metric map
+// the sweep harness and abe-serve aggregate, so outputs diff cleanly).
+func reportJSON(rep abenet.Report, specHash string) map[string]any {
+	out := map[string]any{
+		"protocol": rep.Protocol,
+		"report":   rep,
+		"metrics":  rep.Metrics(),
+	}
+	if specHash != "" {
+		out["spec_hash"] = specHash
+	}
+	return out
+}
+
+// printJSON emits the machine-readable report.
+func printJSON(rep abenet.Report, specHash string) error {
+	return encodeJSON(reportJSON(rep, specHash))
+}
+
+func encodeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// printReport renders the human-readable report shared by the flag path
+// and the spec path.
+func printReport(rep abenet.Report, envLabel string, size int) {
 	fmt.Printf("protocol            : %s\n", rep.Protocol)
-	fmt.Printf("environment         : %s(%d)\n", *topo, size)
+	fmt.Printf("environment         : %s(%d)\n", envLabel, size)
 	if rep.Params != (abenet.Params{}) {
 		fmt.Printf("ABE parameters      : δ=%.3g  s∈[%.3g,%.3g]  γ=%.3g\n",
 			rep.Params.Delta, rep.Params.SLow, rep.Params.SHigh, rep.Params.Gamma)
@@ -224,21 +461,4 @@ func run() error {
 	if len(rep.Violations) > 0 {
 		fmt.Printf("VIOLATIONS          : %v\n", rep.Violations)
 	}
-
-	if *withCheck {
-		if *n > 5 {
-			return fmt.Errorf("-check supports n <= 5 (state space), got %d", *n)
-		}
-		report, err := abenet.CheckElection(abenet.CheckOptions{N: *n})
-		if err != nil {
-			return err
-		}
-		verdict := "SAFE (exhaustive within 2 activations/node)"
-		if !report.OK() {
-			verdict = fmt.Sprintf("%d VIOLATIONS", len(report.Violations))
-		}
-		fmt.Printf("model check         : %s — %d states, %d with a leader\n",
-			verdict, report.StatesExplored, report.LeaderStates)
-	}
-	return nil
 }

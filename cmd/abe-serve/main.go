@@ -1,0 +1,91 @@
+// Command abe-serve serves ABE scenario runs over HTTP: POST a scenario
+// spec (the internal/spec JSON schema), get back the run's report and
+// metrics — computed once per (spec hash, seed) and served from the result
+// cache on every resubmission.
+//
+// Usage:
+//
+//	abe-serve [-addr :8080] [-workers 2] [-sweep-workers 0]
+//	          [-queue 64] [-cache 1024]
+//
+// API:
+//
+//	POST   /v1/runs        {"spec": {...}, "seed": 7, "wait": true}
+//	GET    /v1/runs/{id}   job status / result
+//	DELETE /v1/runs/{id}   cancel
+//	GET    /v1/protocols   registry metadata (names, options, capabilities)
+//	GET    /healthz        liveness + counters
+//
+// Quickstart:
+//
+//	abe-serve &
+//	curl -s localhost:8080/v1/runs -d '{"spec": '"$(cat examples/specs/election_ring.json)"', "wait": true}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"abenet/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abe-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent job executors (0 = 2)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "cap on per-sweep parallelism (0 = spec / GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job bound (0 = 64)")
+	cache := flag.Int("cache", 0, "result-cache entries (0 = 1024)")
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		SweepWorkers: *sweepWorkers,
+	})
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("abe-serve: listening on %s", *addr)
+		errc <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Print("abe-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	svc.Close()
+	return nil
+}

@@ -37,12 +37,17 @@ func (p Point) Mean(metric string) float64 {
 	return s.Mean()
 }
 
+// DefaultRepetitions is the repetition count behind Sweep.Repetitions = 0,
+// exported so tools and validators account for the same number of runs the
+// sweep actually executes.
+const DefaultRepetitions = 100
+
 // Sweep describes a parameter sweep.
 type Sweep struct {
 	// Name labels the experiment (used in errors and tables).
 	Name string
 	// Repetitions is the number of seeded runs per sweep position;
-	// 0 means 100.
+	// 0 means DefaultRepetitions.
 	Repetitions int
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
@@ -63,7 +68,7 @@ func (s Sweep) Run(xs []float64, fn RunFunc) ([]Point, error) {
 	}
 	reps := s.Repetitions
 	if reps == 0 {
-		reps = 100
+		reps = DefaultRepetitions
 	}
 	workers := s.Workers
 	if workers <= 0 {

@@ -465,6 +465,11 @@ type LiveElection struct {
 // Name implements Protocol.
 func (LiveElection) Name() string { return "live-election" }
 
+// NondeterministicRuntime marks the live runtime's results as impure
+// functions of (Env, seed): wall clocks and the Go scheduler race for
+// real, so serving layers must never cache or de-duplicate these runs.
+func (LiveElection) NondeterministicRuntime() bool { return true }
+
 // Run implements Protocol.
 func (p LiveElection) Run(env Env) (Report, error) {
 	n, err := env.size()

@@ -1,6 +1,9 @@
 package runner
 
-import "sort"
+import (
+	"reflect"
+	"sort"
+)
 
 // registry maps protocol names to runnable default instances. Every entry
 // must be runnable on a default environment (Env{N: n, Seed: s}) with its
@@ -46,4 +49,108 @@ func Protocols() []string {
 func ProtocolByName(name string) (Protocol, bool) {
 	p, ok := registry[name]
 	return p, ok
+}
+
+// faultCapable names the registered protocols whose engines honour
+// Env.Faults; every other protocol rejects a non-nil plan (see
+// Env.rejectFaults). Kept here, next to the registry, so tools can learn
+// fault capability without running anything.
+var faultCapable = map[string]bool{
+	"election":         true,
+	"chang-roberts":    true,
+	"itai-rodeh-async": true,
+}
+
+// NondeterministicRuntime is implemented by protocols whose runs are NOT
+// pure functions of (Env, seed) — the live goroutine runtime, which races
+// real scheduling and wall clocks by design. The capability lives on the
+// protocol itself, not in a side table, so registering a new live runtime
+// cannot silently leave it cacheable. Serving layers use it to decide what
+// is safe to cache and de-duplicate by (spec hash, seed).
+type NondeterministicRuntime interface {
+	// NondeterministicRuntime reports that runs race wall clocks.
+	NondeterministicRuntime() bool
+}
+
+// isDeterministic reports whether p's runs are pure functions of
+// (Env, seed).
+func isDeterministic(p Protocol) bool {
+	nd, ok := p.(NondeterministicRuntime)
+	return !ok || !nd.NondeterministicRuntime()
+}
+
+// OptionField describes one decodable knob of a protocol's option struct:
+// its Go field name (the JSON key — encoding/json matches it
+// case-insensitively) and its Go type.
+type OptionField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// Info is the registry's metadata for one protocol: what a serving layer
+// needs to list protocols, decode their options from JSON and decide
+// cacheability, without any per-protocol code.
+type Info struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Options lists the JSON-decodable fields of the protocol's option
+	// struct (exported, non-func fields, in declaration order).
+	Options []OptionField `json:"options"`
+	// SupportsFaults reports whether the protocol honours Env.Faults.
+	SupportsFaults bool `json:"supports_faults"`
+	// Deterministic reports whether a run is a pure function of
+	// (Env, seed) — false only for the live goroutine runtime.
+	Deterministic bool `json:"deterministic"`
+}
+
+// optionFields reflects the decodable fields of a protocol's option struct.
+func optionFields(p Protocol) []OptionField {
+	t := reflect.Indirect(reflect.ValueOf(p)).Type()
+	fields := make([]OptionField, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Type.Kind() == reflect.Func {
+			continue
+		}
+		fields = append(fields, OptionField{Name: f.Name, Type: f.Type.String()})
+	}
+	return fields
+}
+
+// ProtocolInfo returns the named protocol's registry metadata.
+func ProtocolInfo(name string) (Info, bool) {
+	p, ok := registry[name]
+	if !ok {
+		return Info{}, false
+	}
+	return Info{
+		Name:           name,
+		Options:        optionFields(p),
+		SupportsFaults: faultCapable[name],
+		Deterministic:  isDeterministic(p),
+	}, true
+}
+
+// Infos returns the metadata of every registered protocol, sorted by name.
+func Infos() []Info {
+	names := Protocols()
+	infos := make([]Info, 0, len(names))
+	for _, name := range names {
+		info, _ := ProtocolInfo(name)
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// NewInstance returns a fresh pointer to the named protocol's option
+// struct — decodable in place with encoding/json (the pointer's method set
+// includes the value receivers, so the result runs like any Protocol).
+// Each call returns an independent instance, so decoded options never leak
+// between runs or into the registry's defaults.
+func NewInstance(name string) (Protocol, bool) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return reflect.New(reflect.Indirect(reflect.ValueOf(p)).Type()).Interface().(Protocol), true
 }

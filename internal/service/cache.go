@@ -1,0 +1,52 @@
+package service
+
+import "container/list"
+
+// resultCache is a content-addressed LRU of finished results keyed on
+// (spec hash, seed). All methods are called under the service mutex.
+type resultCache struct {
+	max   int
+	order *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+// cacheEntry is one cached result plus its hit counter (how many
+// submissions it has served).
+type cacheEntry struct {
+	key    string
+	result *Result
+	hits   int
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the entry for key (marking it most recently used), or nil.
+func (c *resultCache) get(key string) *cacheEntry {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entries beyond the capacity.
+func (c *resultCache) put(key string, res *Result) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).result = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, result: res})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the entry count.
+func (c *resultCache) len() int { return c.order.Len() }

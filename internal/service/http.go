@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"abenet/internal/runner"
+	"abenet/internal/spec"
+)
+
+// RunRequest is the body of POST /v1/runs.
+type RunRequest struct {
+	// Spec is the scenario (the internal/spec JSON schema, strict).
+	Spec json.RawMessage `json:"spec"`
+	// Seed, when set, overrides the spec's env seed for this run.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Wait, when true, blocks the request until the job finishes (or the
+	// client disconnects) and returns the final snapshot.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// errorBody is every non-2xx response's JSON shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the service's HTTP API:
+//
+//	POST /v1/runs          submit a scenario ({"spec": ..., "seed", "wait"})
+//	GET  /v1/runs/{id}     job status / result
+//	DELETE /v1/runs/{id}   cancel a job
+//	GET  /v1/protocols     registry metadata (names, options, capabilities)
+//	GET  /healthz          liveness + service counters
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+			return
+		}
+		if dec.More() {
+			writeError(w, http.StatusBadRequest, errors.New("request body: trailing data after JSON value"))
+			return
+		}
+		if len(bytes.TrimSpace(req.Spec)) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New(`request needs a "spec"`))
+			return
+		}
+		sp, err := spec.DecodeBytes(req.Spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// The wait path submits and waits on the job handle in one service
+		// call: a by-id re-lookup could race history retirement and report
+		// a finished run as not-found.
+		var view View
+		if req.Wait {
+			view, err = svc.SubmitAndWait(r.Context(), sp, req.Seed)
+		} else {
+			view, err = svc.Submit(sp, req.Seed)
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, statusCode(view), view)
+	})
+
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := svc.Get(r.PathValue("id"))
+		if errors.Is(err, ErrNotFound) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := svc.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrFinished):
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /v1/protocols", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"protocols": runner.Infos()})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": svc.Stats()})
+	})
+
+	return mux
+}
+
+// statusCode maps a submission snapshot onto its HTTP code: 200 when the
+// response already carries the outcome, 202 while the job is still going.
+func statusCode(v View) int {
+	switch v.Status {
+	case StatusQueued, StatusRunning:
+		return http.StatusAccepted
+	default:
+		return http.StatusOK
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

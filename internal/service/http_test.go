@@ -1,0 +1,216 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// postRun submits a run request and decodes the response view.
+func postRun(t *testing.T, ts *httptest.Server, body any, wantCode int) View {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var e errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /v1/runs = %d (%s), want %d", resp.StatusCode, e.Error, wantCode)
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestHTTPEndToEnd covers the acceptance criterion across the third door:
+// the same committed spec file produces byte-identical metrics via a direct
+// run and via POST /v1/runs, and resubmission is a visible cache hit.
+func TestHTTPEndToEnd(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	raw, err := os.ReadFile(filepath.Join(fixtureDir, "election_ring.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Door 1: the direct in-process run of the committed fixture.
+	direct := loadFixture(t, "election_ring.json")
+	rep, err := direct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(rep.Metrics())
+
+	// Door 2: the HTTP server, same spec bytes, synchronous submit.
+	v := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw), "wait": true}, http.StatusOK)
+	if v.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", v.Status, v.Error)
+	}
+	got, _ := json.Marshal(v.Result.Metrics)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HTTP metrics diverged from direct run:\nhttp:   %s\ndirect: %s", got, want)
+	}
+
+	// Resubmission: served from the result cache, hit counter visible.
+	v2 := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw), "wait": true}, http.StatusOK)
+	if v2.CacheHits != 1 {
+		t.Fatalf("resubmission cache_hits = %d, want 1", v2.CacheHits)
+	}
+	got2, _ := json.Marshal(v2.Result.Metrics)
+	if !bytes.Equal(got2, want) {
+		t.Fatal("cached HTTP result diverged")
+	}
+
+	// A seed override is a different run (fresh computation).
+	v3 := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw), "seed": 123, "wait": true}, http.StatusOK)
+	if v3.CacheHits != 0 || v3.Seed != 123 {
+		t.Fatalf("seed override run: hits=%d seed=%d", v3.CacheHits, v3.Seed)
+	}
+
+	// GET the finished job by id.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetched View
+	if err := json.NewDecoder(resp.Body).Decode(&fetched); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || fetched.ID != v.ID || fetched.Status != StatusDone {
+		t.Fatalf("GET /v1/runs/%s = %d %+v", v.ID, resp.StatusCode, fetched)
+	}
+}
+
+// TestHTTPErrorsAndMetadata covers the non-happy paths and the metadata
+// endpoints.
+func TestHTTPErrorsAndMetadata(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	// Unknown job.
+	resp, err := http.Get(ts.URL + "/v1/runs/run-000000-missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	// Invalid spec: strictness reaches through the HTTP layer.
+	bad := map[string]any{"spec": json.RawMessage(`{"version":1,"env":{"n":4,"bogus":1},"protocol":{"name":"election"}}`)}
+	postRunExpectError(t, ts, bad, http.StatusBadRequest)
+
+	// Unknown request fields are rejected too.
+	resp2, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader([]byte(`{"speck":{}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST with unknown field = %d, want 400", resp2.StatusCode)
+	}
+
+	// Protocol metadata lists the registry with capabilities.
+	resp3, err := http.Get(ts.URL + "/v1/protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Protocols []struct {
+			Name           string `json:"name"`
+			SupportsFaults bool   `json:"supports_faults"`
+			Deterministic  bool   `json:"deterministic"`
+			Options        []struct {
+				Name string `json:"name"`
+				Type string `json:"type"`
+			} `json:"options"`
+		} `json:"protocols"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if len(meta.Protocols) == 0 {
+		t.Fatal("no protocols listed")
+	}
+	seen := map[string]bool{}
+	for _, p := range meta.Protocols {
+		seen[p.Name] = true
+		if p.Name == "election" && !p.SupportsFaults {
+			t.Fatal("election metadata lost fault support")
+		}
+	}
+	if !seen["election"] || !seen["chang-roberts"] {
+		t.Fatalf("registry protocols missing from /v1/protocols: %v", seen)
+	}
+
+	// Liveness.
+	resp4, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}
+	if err := json.NewDecoder(resp4.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if health.Status != "ok" || health.Stats.Workers != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Cancelling a finished job conflicts.
+	fixture, err := os.ReadFile(filepath.Join(fixtureDir, "election_ring.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := postRun(t, ts, map[string]any{"spec": json.RawMessage(fixture), "wait": true}, http.StatusOK)
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/runs/%s", ts.URL, v.ID), nil)
+	resp5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE finished job = %d, want 409", resp5.StatusCode)
+	}
+}
+
+func postRunExpectError(t *testing.T, ts *httptest.Server, body any, wantCode int) {
+	t.Helper()
+	payload, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST = %d, want %d", resp.StatusCode, wantCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("error body missing: %v %q", err, e.Error)
+	}
+}

@@ -1,0 +1,476 @@
+// Package service is the experiment job service behind cmd/abe-serve: a
+// bounded worker pool running scenario specs (single runs and sweeps), a
+// content-addressed in-memory result cache keyed on (spec hash, seed) with
+// singleflight-style de-duplication of identical in-flight jobs, and a
+// submit/status/result/cancel job lifecycle.
+//
+// Caching is sound because runs are pure functions of (scenario, seed): the
+// spec hash identifies the scenario (internal/spec pins the canonical
+// encoding) and the harness derives every per-repetition seed from
+// (hash, seed) in canonical order, so a cached result is byte-identical to
+// a fresh one. The one exception — the live goroutine runtime, which races
+// wall clocks by design — is declared nondeterministic by the runner
+// registry and is executed but never cached.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"abenet/internal/runner"
+	"abenet/internal/spec"
+)
+
+// The lifecycle errors.
+var (
+	// ErrNotFound: no job with that id.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrQueueFull: the submit queue is at capacity; retry later.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrFinished: the job already finished; it cannot be cancelled.
+	ErrFinished = errors.New("service: job already finished")
+	// ErrClosed: the service is shutting down.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the number of concurrent job executors; 0 means 2.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// 0 means 64. Submits beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the result cache (LRU eviction); 0 means 1024.
+	CacheEntries int
+	// JobHistory bounds how many finished (done/failed/cancelled) jobs
+	// stay queryable by id; 0 means 4096. Beyond it the oldest finished
+	// jobs are forgotten (GET returns not-found) — without a bound a
+	// long-serving process would grow one job record per submission
+	// forever. Queued and running jobs are never evicted.
+	JobHistory int
+	// SweepWorkers caps each sweep job's internal parallelism; 0 leaves
+	// the spec's own setting (or GOMAXPROCS) in charge.
+	SweepWorkers int
+	// BeforeJob, when non-nil, runs in the worker goroutine before each
+	// job executes. It exists so tests can hold workers deterministically;
+	// production code leaves it nil.
+	BeforeJob func()
+}
+
+// Result is one finished job's payload: a single run's report + flattened
+// metrics, or a sweep's aggregated points.
+type Result struct {
+	// Report is the single run's full report (nil for sweeps).
+	Report *runner.Report `json:"report,omitempty"`
+	// Metrics is the single run's flattened metric map (nil for sweeps).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Points are the sweep's aggregated positions (nil for single runs).
+	Points []spec.PointView `json:"points,omitempty"`
+}
+
+// View is a JSON-ready snapshot of one job.
+type View struct {
+	// ID is the job id (stable across its lifecycle).
+	ID string `json:"id"`
+	// Status is the lifecycle state at snapshot time.
+	Status Status `json:"status"`
+	// Protocol is the scenario's registry protocol name.
+	Protocol string `json:"protocol"`
+	// Kind is "run" or "sweep".
+	Kind string `json:"kind"`
+	// SpecHash identifies the scenario (seed and sweep workers excluded).
+	SpecHash string `json:"spec_hash"`
+	// Seed is the run's base seed.
+	Seed uint64 `json:"seed"`
+	// CacheHits counts how many submissions this cached result has served;
+	// 0 on a fresh computation. The acceptance check for "served from
+	// cache" reads this.
+	CacheHits int `json:"cache_hits"`
+	// Deduplicated counts submissions coalesced onto this in-flight job.
+	Deduplicated int `json:"deduplicated"`
+	// Result is the payload once Status is done.
+	Result *Result `json:"result,omitempty"`
+	// Error is the failure message once Status is failed.
+	Error string `json:"error,omitempty"`
+}
+
+// job is the service-internal state of one submission.
+type job struct {
+	id        string
+	spec      *spec.Spec
+	key       string
+	hash      string
+	status    Status
+	cacheable bool
+	result    *Result
+	err       string
+	cacheHits int
+	dedups    int
+	done      chan struct{}
+}
+
+// view snapshots the job. Callers hold the service mutex.
+func (j *job) view() View {
+	kind := "run"
+	if j.spec.Sweep != nil {
+		kind = "sweep"
+	}
+	v := View{
+		ID:           j.id,
+		Status:       j.status,
+		Protocol:     j.spec.Protocol.Name,
+		Kind:         kind,
+		SpecHash:     j.hash,
+		Seed:         j.spec.Env.Seed,
+		CacheHits:    j.cacheHits,
+		Deduplicated: j.dedups,
+		Error:        j.err,
+	}
+	if j.status == StatusDone {
+		v.Result = j.result
+	}
+	return v
+}
+
+// Service runs scenario jobs on a bounded worker pool.
+type Service struct {
+	opts  Options
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*job
+	inflight map[string]*job // cache key → queued/running job (singleflight)
+	history  []string        // finished job ids, oldest first (FIFO retirement)
+	cache    *resultCache
+}
+
+// retireLocked records a job as finished and evicts the oldest finished
+// jobs beyond the history bound. Callers hold s.mu and have just moved j
+// into a terminal state.
+func (s *Service) retireLocked(j *job) {
+	s.history = append(s.history, j.id)
+	for len(s.history) > s.opts.JobHistory {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+}
+
+// New starts a service with opts.
+func New(opts Options) *Service {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 1024
+	}
+	if opts.JobHistory <= 0 {
+		opts.JobHistory = 4096
+	}
+	s := &Service{
+		opts:     opts,
+		queue:    make(chan *job, opts.QueueDepth),
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+		cache:    newResultCache(opts.CacheEntries),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a scenario. seedOverride, when non-nil,
+// replaces the spec's Env.Seed (the spec file states the scenario; the
+// caller may pick the run). The returned view is one of:
+//
+//   - a done job served straight from the result cache (CacheHits > 0),
+//   - the identical in-flight job (Deduplicated > 0, same id), or
+//   - a fresh queued job.
+func (s *Service) Submit(sp *spec.Spec, seedOverride *uint64) (View, error) {
+	view, _, err := s.submit(sp, seedOverride)
+	return view, err
+}
+
+// SubmitAndWait submits and blocks until the job finishes (or ctx ends),
+// then snapshots it. The snapshot comes from the job handle submit
+// returned — never a second id lookup — so history retirement while the
+// caller waits cannot turn a finished run into not-found.
+func (s *Service) SubmitAndWait(ctx context.Context, sp *spec.Spec, seedOverride *uint64) (View, error) {
+	view, j, err := s.submit(sp, seedOverride)
+	if err != nil {
+		return view, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.view(), nil
+}
+
+// submit is the shared submission path, returning the job handle alongside
+// the snapshot.
+func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error) {
+	if sp == nil {
+		return View{}, nil, errors.New("service: nil spec")
+	}
+	run := *sp
+	if seedOverride != nil {
+		run.Env.Seed = *seedOverride
+	}
+	if err := run.Validate(); err != nil {
+		return View{}, nil, err
+	}
+	hash, err := run.Hash()
+	if err != nil {
+		return View{}, nil, err
+	}
+	key := fmt.Sprintf("%s@%d", hash, run.Env.Seed)
+	info, _ := runner.ProtocolInfo(run.Protocol.Name)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return View{}, nil, ErrClosed
+	}
+	if ent := s.cache.get(key); ent != nil {
+		// Served from cache: a done job materialises instantly, and the
+		// hit counter proves no simulation ran.
+		ent.hits++
+		j := s.newJobLocked(&run, hash, key)
+		j.status = StatusDone
+		j.result = ent.result
+		j.cacheHits = ent.hits
+		close(j.done)
+		s.jobs[j.id] = j
+		s.retireLocked(j)
+		return j.view(), j, nil
+	}
+	// Dedup and caching share the same soundness argument — identical
+	// (scenario, seed) means identical results — so a nondeterministic
+	// protocol opts out of both: every live-election submission gets its
+	// own wall-clock run.
+	if info.Deterministic {
+		if running := s.inflight[key]; running != nil {
+			running.dedups++
+			return running.view(), running, nil
+		}
+	}
+	j := s.newJobLocked(&run, hash, key)
+	j.cacheable = info.Deterministic
+	select {
+	case s.queue <- j:
+	default:
+		return View{}, nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	if info.Deterministic {
+		s.inflight[key] = j
+	}
+	return j.view(), j, nil
+}
+
+// newJobLocked allocates a job with the next id. Callers hold s.mu and
+// register the job in s.jobs themselves (queue-full submits are discarded).
+func (s *Service) newJobLocked(sp *spec.Spec, hash, key string) *job {
+	s.seq++
+	return &job{
+		id:     fmt.Sprintf("run-%06d-%s", s.seq, hash[:12]),
+		spec:   sp,
+		hash:   hash,
+		key:    key,
+		status: StatusQueued,
+		done:   make(chan struct{}),
+	}
+}
+
+// Get snapshots a job by id.
+func (s *Service) Get(id string) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// Wait blocks until the job finishes (done, failed or cancelled) or ctx
+// ends, then snapshots it either way. The snapshot comes from the held job
+// pointer, not a second id lookup: history retirement may evict the job
+// from the index while a long waiter sleeps, and a run that finished must
+// never be reported as not-found to the client that submitted it.
+func (s *Service) Wait(ctx context.Context, id string) (View, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.view(), nil
+}
+
+// Cancel stops a job: a queued job is cancelled immediately; a running
+// job's result is discarded when its execution returns (the simulation
+// itself is not preemptible). Finished jobs return ErrFinished.
+func (s *Service) Cancel(id string) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCancelled
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		close(j.done)
+		s.retireLocked(j)
+	case StatusRunning:
+		j.status = StatusCancelled
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		// The worker observes the state when the run returns and discards
+		// the result; j.done closes there.
+	default:
+		return j.view(), ErrFinished
+	}
+	return j.view(), nil
+}
+
+// Stats summarises the service for health endpoints.
+type Stats struct {
+	Workers      int `json:"workers"`
+	QueueDepth   int `json:"queue_depth"`
+	Jobs         int `json:"jobs"`
+	Queued       int `json:"queued"`
+	Running      int `json:"running"`
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:      s.opts.Workers,
+		QueueDepth:   s.opts.QueueDepth,
+		Jobs:         len(s.jobs),
+		CacheEntries: s.cache.len(),
+	}
+	for _, j := range s.jobs {
+		switch j.status {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Close stops accepting submissions and waits for in-flight jobs to drain.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker drains the queue.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.opts.BeforeJob != nil {
+			s.opts.BeforeJob()
+		}
+		s.mu.Lock()
+		if j.status != StatusQueued { // cancelled while queued
+			s.mu.Unlock()
+			continue
+		}
+		j.status = StatusRunning
+		s.mu.Unlock()
+
+		res, err := execute(j.spec, s.opts.SweepWorkers)
+
+		s.mu.Lock()
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		switch {
+		case j.status == StatusCancelled:
+			// Result discarded; Cancel already removed the inflight entry.
+		case err != nil:
+			j.status = StatusFailed
+			j.err = err.Error()
+		default:
+			j.status = StatusDone
+			j.result = res
+			if j.cacheable {
+				s.cache.put(j.key, res)
+			}
+		}
+		close(j.done)
+		s.retireLocked(j)
+		s.mu.Unlock()
+	}
+}
+
+// execute runs one scenario (guarding against engine panics: a served
+// platform must report a bad run, not die with it).
+func execute(sp *spec.Spec, sweepWorkers int) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: run panicked: %v", r)
+		}
+	}()
+	if sp.Sweep != nil {
+		points, err := sp.RunSweep(sweepWorkers)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Points: spec.SweepView(points, sp.Sweep.Metrics)}, nil
+	}
+	rep, err := sp.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: &rep, Metrics: rep.Metrics()}, nil
+}

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"abenet/internal/runner"
+	"abenet/internal/spec"
+)
+
+const fixtureDir = "../../examples/specs"
+
+func loadFixture(t *testing.T, name string) *spec.Spec {
+	t.Helper()
+	s, err := spec.DecodeFile(filepath.Join(fixtureDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// await runs Wait with a test deadline.
+func await(t *testing.T, svc *Service, id string) View {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v, err := svc.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status == StatusQueued || v.Status == StatusRunning {
+		t.Fatalf("job %s still %s after Wait", id, v.Status)
+	}
+	return v
+}
+
+// TestSubmitRunAndCache is the acceptance loop: a submitted spec computes
+// the same metrics as a direct runner.Run, and resubmitting the identical
+// (scenario, seed) is served from the result cache with a hit counter.
+func TestSubmitRunAndCache(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+
+	sp := loadFixture(t, "election_ring.json")
+	v, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheHits != 0 {
+		t.Fatalf("fresh submission reports %d cache hits", v.CacheHits)
+	}
+	v = await(t, svc, v.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", v.Status, v.Error)
+	}
+
+	// Byte-identical to running the scenario directly.
+	rep, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(rep.Metrics())
+	got, _ := json.Marshal(v.Result.Metrics)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("service metrics diverged from direct run:\nservice: %s\ndirect:  %s", got, want)
+	}
+
+	// Resubmission: served from cache, no recomputation, counter visible.
+	v2, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != StatusDone {
+		t.Fatalf("cached submission is %s, want done", v2.Status)
+	}
+	if v2.CacheHits != 1 {
+		t.Fatalf("cached submission reports %d hits, want 1", v2.CacheHits)
+	}
+	got2, _ := json.Marshal(v2.Result.Metrics)
+	if !bytes.Equal(got2, want) {
+		t.Fatal("cached result differs from computed result")
+	}
+	// Third submission bumps the counter again.
+	v3, _ := svc.Submit(sp, nil)
+	if v3.CacheHits != 2 {
+		t.Fatalf("second cached submission reports %d hits, want 2", v3.CacheHits)
+	}
+
+	// A different seed is a different run: fresh computation.
+	seed := uint64(99)
+	v4, err := svc.Submit(sp, &seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4.CacheHits != 0 {
+		t.Fatal("different seed was served from cache")
+	}
+	if v4.Seed != 99 {
+		t.Fatalf("seed override not applied: %d", v4.Seed)
+	}
+	if await(t, svc, v4.ID).Status != StatusDone {
+		t.Fatal("seed-override job failed")
+	}
+}
+
+// TestSingleflightDedupCancelAndQueueFull drives the whole lifecycle
+// deterministically by holding the single worker on a barrier.
+func TestSingleflightDedupCancelAndQueueFull(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 1,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+
+	spA := loadFixture(t, "election_ring.json")
+	spB := loadFixture(t, "chang_roberts_pareto.json")
+	spC := loadFixture(t, "peterson_bimodal.json")
+
+	// J1 occupies the worker (popped from the queue, held at the barrier).
+	j1, err := svc.Submit(spA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// J2 waits in the queue; an identical submission coalesces onto it.
+	j2, err := svc.Submit(spB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Status != StatusQueued {
+		t.Fatalf("J2 is %s, want queued", j2.Status)
+	}
+	dup, err := svc.Submit(spB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != j2.ID {
+		t.Fatalf("identical in-flight submission got a new job: %s vs %s", dup.ID, j2.ID)
+	}
+	if dup.Deduplicated != 1 {
+		t.Fatalf("dedup counter = %d, want 1", dup.Deduplicated)
+	}
+
+	// The queue (depth 1) is full now.
+	if _, err := svc.Submit(spC, nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into a full queue: %v, want ErrQueueFull", err)
+	}
+
+	// Cancel the queued J2: immediate, and the key is free again — a new
+	// submission of the same scenario must NOT attach to the cancelled job.
+	if _, err := svc.Cancel(j2.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Get(j2.ID)
+	if err != nil || got.Status != StatusCancelled {
+		t.Fatalf("cancelled job is %s (%v)", got.Status, err)
+	}
+
+	// Release the worker; J1 completes, the cancelled J2 is skipped.
+	close(release)
+	if v := await(t, svc, j1.ID); v.Status != StatusDone {
+		t.Fatalf("J1 ended %s (%s)", v.Status, v.Error)
+	}
+	if v := await(t, svc, j2.ID); v.Status != StatusCancelled {
+		t.Fatalf("J2 ended %s, want cancelled", v.Status)
+	}
+
+	// Resubmitting the cancelled scenario starts a fresh job that runs.
+	j5, err := svc.Submit(spB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j5.ID == j2.ID {
+		t.Fatal("resubmission attached to the cancelled job")
+	}
+	if v := await(t, svc, j5.ID); v.Status != StatusDone {
+		t.Fatalf("resubmitted job ended %s (%s)", v.Status, v.Error)
+	}
+
+	// Cancelling a finished job is refused.
+	if _, err := svc.Cancel(j5.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("cancel of finished job: %v, want ErrFinished", err)
+	}
+	// Unknown ids are refused.
+	if _, err := svc.Get("run-999999-nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get of unknown job: %v, want ErrNotFound", err)
+	}
+}
+
+// TestSweepJob: a sweep spec runs through the pool and reports filtered,
+// aggregated points; resubmission hits the cache.
+func TestSweepJob(t *testing.T) {
+	svc := New(Options{Workers: 2, SweepWorkers: 2})
+	defer svc.Close()
+
+	sp := loadFixture(t, "itai_rodeh_sweep.json")
+	v, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = await(t, svc, v.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("sweep ended %s (%s)", v.Status, v.Error)
+	}
+	if v.Kind != "sweep" {
+		t.Fatalf("kind = %q, want sweep", v.Kind)
+	}
+	if len(v.Result.Points) != len(sp.Sweep.Xs) {
+		t.Fatalf("%d points, want %d", len(v.Result.Points), len(sp.Sweep.Xs))
+	}
+	for _, p := range v.Result.Points {
+		if len(p.Metrics) != len(sp.Sweep.Metrics) {
+			t.Fatalf("point x=%g has %d metrics, want %d", p.X, len(p.Metrics), len(sp.Sweep.Metrics))
+		}
+	}
+	v2, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.CacheHits != 1 {
+		t.Fatalf("sweep resubmission: %d cache hits, want 1", v2.CacheHits)
+	}
+}
+
+// TestFailedJobNotCached: a run-time failure is reported and never cached.
+func TestFailedJobNotCached(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+
+	// KeepRunning without a horizon validates as an environment but fails
+	// in the protocol engine.
+	ps, err := spec.ForProtocol(runner.Election{KeepRunning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spec.Spec{Version: spec.Version, Env: spec.EnvSpec{N: 4, Seed: 1}, Protocol: ps}
+	v, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = await(t, svc, v.ID)
+	if v.Status != StatusFailed || v.Error == "" {
+		t.Fatalf("job ended %s (%q), want failed with a message", v.Status, v.Error)
+	}
+	if v.Result != nil {
+		t.Fatal("failed job carries a result")
+	}
+	v2, _ := svc.Submit(sp, nil)
+	if v2.CacheHits != 0 {
+		t.Fatal("failure was served from cache")
+	}
+	await(t, svc, v2.ID)
+}
+
+// TestNondeterministicNeverCached: the live runtime executes but its
+// results are not content-addressable, so resubmission recomputes.
+func TestNondeterministicNeverCached(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+
+	ps, err := spec.ForProtocol(runner.LiveElection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spec.Spec{Version: spec.Version, Env: spec.EnvSpec{N: 4, Seed: 1}, Protocol: ps}
+	v, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v = await(t, svc, v.ID); v.Status != StatusDone {
+		t.Fatalf("live job ended %s (%s)", v.Status, v.Error)
+	}
+	v2, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.CacheHits != 0 {
+		t.Fatal("nondeterministic run was served from cache")
+	}
+	await(t, svc, v2.ID)
+}
+
+// TestNondeterministicNeverDeduplicated: concurrent identical live
+// submissions must each get their own run — sharing one wall-clock-racing
+// result is exactly what the determinism carve-out forbids.
+func TestNondeterministicNeverDeduplicated(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 8,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+
+	ps, err := spec.ForProtocol(runner.LiveElection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spec.Spec{Version: spec.Version, Env: spec.EnvSpec{N: 4, Seed: 1}, Protocol: ps}
+	a, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker holds job a
+	b, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID == a.ID {
+		t.Fatal("identical live submissions were coalesced onto one run")
+	}
+	close(release)
+	await(t, svc, a.ID)
+	await(t, svc, b.ID)
+}
+
+// TestJobHistoryBound: finished jobs are retired FIFO past the history
+// bound, so the job map cannot grow without limit under sustained traffic.
+func TestJobHistoryBound(t *testing.T) {
+	svc := New(Options{Workers: 1, JobHistory: 2})
+	defer svc.Close()
+
+	names := []string{"election_ring.json", "chang_roberts_pareto.json", "peterson_bimodal.json"}
+	ids := make([]string, len(names))
+	for i, name := range names {
+		v, err := svc.Submit(loadFixture(t, name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+		await(t, svc, v.ID)
+	}
+	// The oldest finished job fell off the history; the two newest remain.
+	if _, err := svc.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest finished job still queryable: %v", err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := svc.Get(id); err != nil {
+			t.Fatalf("recent job %s evicted too early: %v", id, err)
+		}
+	}
+	if got := svc.Stats().Jobs; got != 2 {
+		t.Fatalf("job map holds %d entries, want 2", got)
+	}
+}
+
+// TestCacheEviction: the LRU bound holds.
+func TestCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	r := &Result{}
+	c.put("a", r)
+	c.put("b", r)
+	if c.get("a") == nil {
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", r) // evicts b (a was just used)
+	if c.get("b") != nil {
+		t.Fatal("b survived past capacity")
+	}
+	if c.get("a") == nil || c.get("c") == nil {
+		t.Fatal("wrong entry evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,581 @@
+// Component codecs: each environment ingredient (topology, delay
+// distribution, clock model, link factory) is named JSON —
+// {"name": ..., "params": {...}} — resolved through a small per-family
+// registry of typed parameter structs. Parameters are typed, never
+// free-form maps, so canonical encoding is deterministic; construction
+// funnels through the library constructors, whose panics are captured as
+// decode errors.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"abenet/internal/channel"
+	"abenet/internal/clock"
+	"abenet/internal/dist"
+	"abenet/internal/topology"
+)
+
+// componentJSON is the shared wire shape of every named component.
+type componentJSON struct {
+	Name   string          `json:"name"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// entry describes one name in a component family: a fresh-parameters
+// constructor (nil for parameterless components) and a builder from the
+// populated parameters to the concrete value.
+type entry[T any] struct {
+	newParams func() any
+	build     func(params any) (T, error)
+}
+
+// family is one component kind's name table.
+type family[T any] struct {
+	kind    string
+	entries map[string]entry[T]
+}
+
+// names returns the family's sorted component names (for error messages).
+func (f *family[T]) names() []string {
+	out := make([]string, 0, len(f.entries))
+	for name := range f.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unmarshal decodes {"name", "params"} strictly against the family table.
+func (f *family[T]) unmarshal(data []byte) (string, any, error) {
+	var cj componentJSON
+	if err := strictUnmarshal(data, &cj); err != nil {
+		return "", nil, fmt.Errorf("spec: %s: %w", f.kind, err)
+	}
+	if cj.Name == "" {
+		return "", nil, fmt.Errorf(`spec: %s needs a "name" (have %v)`, f.kind, f.names())
+	}
+	ent, ok := f.entries[cj.Name]
+	if !ok {
+		return "", nil, fmt.Errorf("spec: unknown %s %q (have %v)", f.kind, cj.Name, f.names())
+	}
+	if ent.newParams == nil {
+		if len(cj.Params) > 0 {
+			return "", nil, fmt.Errorf("spec: %s %q takes no params", f.kind, cj.Name)
+		}
+		return cj.Name, nil, nil
+	}
+	params := ent.newParams()
+	if len(cj.Params) > 0 {
+		if err := strictUnmarshal(cj.Params, params); err != nil {
+			return "", nil, fmt.Errorf("spec: %s %q params: %w", f.kind, cj.Name, err)
+		}
+	}
+	return cj.Name, params, nil
+}
+
+// marshal encodes a component canonically: the params object is always
+// present and complete for parameterised components.
+func (f *family[T]) marshal(name string, params any) ([]byte, error) {
+	ent, ok := f.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown %s %q (have %v)", f.kind, name, f.names())
+	}
+	cj := componentJSON{Name: name}
+	if ent.newParams != nil {
+		if params == nil {
+			params = ent.newParams()
+		}
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s %q params: %w", f.kind, name, err)
+		}
+		cj.Params = raw
+	}
+	return json.Marshal(cj)
+}
+
+// build constructs the concrete value, converting constructor panics
+// (the library treats mis-parameterisation as a programming error) into
+// decode-side errors.
+func (f *family[T]) build(name string, params any) (T, error) {
+	var zero T
+	ent, ok := f.entries[name]
+	if !ok {
+		return zero, fmt.Errorf("spec: unknown %s %q (have %v)", f.kind, name, f.names())
+	}
+	if ent.newParams != nil && params == nil {
+		params = ent.newParams()
+	}
+	out, err := capture(func() (T, error) { return ent.build(params) })
+	if err != nil {
+		return zero, fmt.Errorf("spec: %s %q: %w", f.kind, name, err)
+	}
+	return out, nil
+}
+
+// capture runs fn, converting a panic into an error.
+func capture[T any](fn func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return fn()
+}
+
+// ---- Delay distributions ----
+
+// DistSpec names a delay distribution plus its parameters. Names:
+// deterministic, uniform, exponential, erlang, pareto, retransmission,
+// bimodal (whose fast/slow components are themselves DistSpecs).
+type DistSpec struct {
+	Name   string
+	params any
+}
+
+// The distribution parameter structs (exported so specs can be built
+// programmatically and so the JSON schema is visible in one place).
+type (
+	// DeterministicParams: the distribution concentrated on Value ≥ 0.
+	DeterministicParams struct {
+		Value float64 `json:"value"`
+	}
+	// UniformParams: uniform on [Low, High], 0 ≤ Low ≤ High.
+	UniformParams struct {
+		Low  float64 `json:"low"`
+		High float64 `json:"high"`
+	}
+	// ExponentialParams: exponential with Mean > 0.
+	ExponentialParams struct {
+		Mean float64 `json:"mean"`
+	}
+	// ErlangParams: K-stage Erlang with total Mean.
+	ErlangParams struct {
+		K    int     `json:"k"`
+		Mean float64 `json:"mean"`
+	}
+	// ParetoParams: Pareto scaled to Mean with tail index Alpha > 1.
+	ParetoParams struct {
+		Mean  float64 `json:"mean"`
+		Alpha float64 `json:"alpha"`
+	}
+	// RetransmissionParams: stop-and-wait ARQ delay, per-attempt success
+	// probability P, slot time Slot (mean Slot/P).
+	RetransmissionParams struct {
+		P    float64 `json:"p"`
+		Slot float64 `json:"slot"`
+	}
+	// BimodalParams: Fast with probability 1−PSlow, Slow with PSlow.
+	BimodalParams struct {
+		Fast  *DistSpec `json:"fast"`
+		Slow  *DistSpec `json:"slow"`
+		PSlow float64   `json:"p_slow"`
+	}
+)
+
+var distFamily = &family[dist.Dist]{kind: "distribution", entries: map[string]entry[dist.Dist]{
+	"deterministic": {
+		newParams: func() any { return &DeterministicParams{} },
+		build: func(p any) (dist.Dist, error) {
+			return dist.NewDeterministic(p.(*DeterministicParams).Value), nil
+		},
+	},
+	"uniform": {
+		newParams: func() any { return &UniformParams{} },
+		build: func(p any) (dist.Dist, error) {
+			pp := p.(*UniformParams)
+			return dist.NewUniform(pp.Low, pp.High), nil
+		},
+	},
+	"exponential": {
+		newParams: func() any { return &ExponentialParams{} },
+		build: func(p any) (dist.Dist, error) {
+			return dist.NewExponential(p.(*ExponentialParams).Mean), nil
+		},
+	},
+	"erlang": {
+		newParams: func() any { return &ErlangParams{} },
+		build: func(p any) (dist.Dist, error) {
+			pp := p.(*ErlangParams)
+			return dist.NewErlang(pp.K, pp.Mean), nil
+		},
+	},
+	"pareto": {
+		newParams: func() any { return &ParetoParams{} },
+		build: func(p any) (dist.Dist, error) {
+			pp := p.(*ParetoParams)
+			return dist.ParetoWithMean(pp.Mean, pp.Alpha), nil
+		},
+	},
+	"retransmission": {
+		newParams: func() any { return &RetransmissionParams{} },
+		build: func(p any) (dist.Dist, error) {
+			pp := p.(*RetransmissionParams)
+			return dist.NewRetransmission(pp.P, pp.Slot), nil
+		},
+	},
+}}
+
+// The bimodal entry recurses through DistSpec.Build for its components, so
+// it is registered in init() to break the initialisation cycle.
+func init() {
+	distFamily.entries["bimodal"] = entry[dist.Dist]{
+		newParams: func() any { return &BimodalParams{} },
+		build: func(p any) (dist.Dist, error) {
+			pp := p.(*BimodalParams)
+			if pp.Fast == nil || pp.Slow == nil {
+				return nil, fmt.Errorf(`bimodal needs both "fast" and "slow" component distributions`)
+			}
+			fast, err := pp.Fast.Build()
+			if err != nil {
+				return nil, err
+			}
+			slow, err := pp.Slow.Build()
+			if err != nil {
+				return nil, err
+			}
+			return dist.NewBimodal(fast, slow, pp.PSlow), nil
+		},
+	}
+}
+
+// The programmatic DistSpec constructors.
+
+// Deterministic is the spec of dist.NewDeterministic(v).
+func Deterministic(v float64) *DistSpec {
+	return &DistSpec{Name: "deterministic", params: &DeterministicParams{Value: v}}
+}
+
+// Uniform is the spec of dist.NewUniform(low, high).
+func Uniform(low, high float64) *DistSpec {
+	return &DistSpec{Name: "uniform", params: &UniformParams{Low: low, High: high}}
+}
+
+// Exponential is the spec of dist.NewExponential(mean).
+func Exponential(mean float64) *DistSpec {
+	return &DistSpec{Name: "exponential", params: &ExponentialParams{Mean: mean}}
+}
+
+// Erlang is the spec of dist.NewErlang(k, mean).
+func Erlang(k int, mean float64) *DistSpec {
+	return &DistSpec{Name: "erlang", params: &ErlangParams{K: k, Mean: mean}}
+}
+
+// Pareto is the spec of dist.ParetoWithMean(mean, alpha).
+func Pareto(mean, alpha float64) *DistSpec {
+	return &DistSpec{Name: "pareto", params: &ParetoParams{Mean: mean, Alpha: alpha}}
+}
+
+// Retransmission is the spec of dist.NewRetransmission(p, slot).
+func Retransmission(p, slot float64) *DistSpec {
+	return &DistSpec{Name: "retransmission", params: &RetransmissionParams{P: p, Slot: slot}}
+}
+
+// Bimodal is the spec of dist.NewBimodal(fast, slow, pSlow).
+func Bimodal(fast, slow *DistSpec, pSlow float64) *DistSpec {
+	return &DistSpec{Name: "bimodal", params: &BimodalParams{Fast: fast, Slow: slow, PSlow: pSlow}}
+}
+
+// UnmarshalJSON implements json.Unmarshaler (strict).
+func (d *DistSpec) UnmarshalJSON(data []byte) error {
+	name, params, err := distFamily.unmarshal(data)
+	if err != nil {
+		return err
+	}
+	d.Name, d.params = name, params
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler (canonical).
+func (d DistSpec) MarshalJSON() ([]byte, error) {
+	return distFamily.marshal(d.Name, d.params)
+}
+
+// Build constructs the distribution.
+func (d *DistSpec) Build() (dist.Dist, error) {
+	return distFamily.build(d.Name, d.params)
+}
+
+// ---- Topologies ----
+
+// TopologySpec names a communication graph plus its parameters. Names:
+// ring, biring, line, star, complete (SizeParams), hypercube
+// (HypercubeParams), torus (TorusParams).
+type TopologySpec struct {
+	Name   string
+	params any
+}
+
+type (
+	// SizeParams: the node count of ring/biring/line/star/complete.
+	SizeParams struct {
+		N int `json:"n"`
+	}
+	// HypercubeParams: the dimension (2^Dim nodes).
+	HypercubeParams struct {
+		Dim int `json:"dim"`
+	}
+	// TorusParams: the Rows×Cols 2-D torus.
+	TorusParams struct {
+		Rows int `json:"rows"`
+		Cols int `json:"cols"`
+	}
+)
+
+func sizedTopology(build func(n int) *topology.Graph) entry[*topology.Graph] {
+	return entry[*topology.Graph]{
+		newParams: func() any { return &SizeParams{} },
+		build: func(p any) (*topology.Graph, error) {
+			return build(p.(*SizeParams).N), nil
+		},
+	}
+}
+
+var topologyFamily = &family[*topology.Graph]{kind: "topology", entries: map[string]entry[*topology.Graph]{
+	"ring":     sizedTopology(topology.Ring),
+	"biring":   sizedTopology(topology.BiRing),
+	"line":     sizedTopology(topology.Line),
+	"star":     sizedTopology(topology.Star),
+	"complete": sizedTopology(topology.Complete),
+	"hypercube": {
+		newParams: func() any { return &HypercubeParams{} },
+		build: func(p any) (*topology.Graph, error) {
+			return topology.Hypercube(p.(*HypercubeParams).Dim), nil
+		},
+	},
+	"torus": {
+		newParams: func() any { return &TorusParams{} },
+		build: func(p any) (*topology.Graph, error) {
+			pp := p.(*TorusParams)
+			return topology.Torus(pp.Rows, pp.Cols), nil
+		},
+	},
+}}
+
+// RingTopology is the spec of topology.Ring(n).
+func RingTopology(n int) *TopologySpec {
+	return &TopologySpec{Name: "ring", params: &SizeParams{N: n}}
+}
+
+// BiRingTopology is the spec of topology.BiRing(n).
+func BiRingTopology(n int) *TopologySpec {
+	return &TopologySpec{Name: "biring", params: &SizeParams{N: n}}
+}
+
+// LineTopology is the spec of topology.Line(n).
+func LineTopology(n int) *TopologySpec {
+	return &TopologySpec{Name: "line", params: &SizeParams{N: n}}
+}
+
+// StarTopology is the spec of topology.Star(n).
+func StarTopology(n int) *TopologySpec {
+	return &TopologySpec{Name: "star", params: &SizeParams{N: n}}
+}
+
+// CompleteTopology is the spec of topology.Complete(n).
+func CompleteTopology(n int) *TopologySpec {
+	return &TopologySpec{Name: "complete", params: &SizeParams{N: n}}
+}
+
+// HypercubeTopology is the spec of topology.Hypercube(dim).
+func HypercubeTopology(dim int) *TopologySpec {
+	return &TopologySpec{Name: "hypercube", params: &HypercubeParams{Dim: dim}}
+}
+
+// TorusTopology is the spec of topology.Torus(rows, cols).
+func TorusTopology(rows, cols int) *TopologySpec {
+	return &TopologySpec{Name: "torus", params: &TorusParams{Rows: rows, Cols: cols}}
+}
+
+// UnmarshalJSON implements json.Unmarshaler (strict).
+func (t *TopologySpec) UnmarshalJSON(data []byte) error {
+	name, params, err := topologyFamily.unmarshal(data)
+	if err != nil {
+		return err
+	}
+	t.Name, t.params = name, params
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler (canonical).
+func (t TopologySpec) MarshalJSON() ([]byte, error) {
+	return topologyFamily.marshal(t.Name, t.params)
+}
+
+// Build constructs the graph.
+func (t *TopologySpec) Build() (*topology.Graph, error) {
+	return topologyFamily.build(t.Name, t.params)
+}
+
+// ---- Clock models ----
+
+// ClockSpec names a clock model. Names: perfect (no params), uniform
+// (UniformClockParams), wandering (WanderingClockParams).
+type ClockSpec struct {
+	Name   string
+	params any
+}
+
+type (
+	// UniformClockParams: each node's constant rate drawn uniformly from
+	// [Low, High].
+	UniformClockParams struct {
+		Low  float64 `json:"low"`
+		High float64 `json:"high"`
+	}
+	// WanderingClockParams: piecewise-constant rates in [Low, High],
+	// resampled at exponential boundaries of mean SegmentMean.
+	WanderingClockParams struct {
+		Low         float64 `json:"low"`
+		High        float64 `json:"high"`
+		SegmentMean float64 `json:"segment_mean"`
+	}
+)
+
+var clockFamily = &family[clock.Model]{kind: "clock model", entries: map[string]entry[clock.Model]{
+	"perfect": {
+		build: func(any) (clock.Model, error) { return clock.PerfectModel{}, nil },
+	},
+	"uniform": {
+		newParams: func() any { return &UniformClockParams{} },
+		build: func(p any) (clock.Model, error) {
+			pp := p.(*UniformClockParams)
+			return clock.NewUniformFixedModel(pp.Low, pp.High), nil
+		},
+	},
+	"wandering": {
+		newParams: func() any { return &WanderingClockParams{} },
+		build: func(p any) (clock.Model, error) {
+			pp := p.(*WanderingClockParams)
+			return clock.NewWanderingModel(pp.Low, pp.High, pp.SegmentMean), nil
+		},
+	},
+}}
+
+// PerfectClocks is the spec of clock.PerfectModel.
+func PerfectClocks() *ClockSpec { return &ClockSpec{Name: "perfect"} }
+
+// UniformClocks is the spec of clock.NewUniformFixedModel(low, high).
+func UniformClocks(low, high float64) *ClockSpec {
+	return &ClockSpec{Name: "uniform", params: &UniformClockParams{Low: low, High: high}}
+}
+
+// WanderingClocks is the spec of clock.NewWanderingModel.
+func WanderingClocks(low, high, segmentMean float64) *ClockSpec {
+	return &ClockSpec{Name: "wandering", params: &WanderingClockParams{Low: low, High: high, SegmentMean: segmentMean}}
+}
+
+// UnmarshalJSON implements json.Unmarshaler (strict).
+func (c *ClockSpec) UnmarshalJSON(data []byte) error {
+	name, params, err := clockFamily.unmarshal(data)
+	if err != nil {
+		return err
+	}
+	c.Name, c.params = name, params
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler (canonical).
+func (c ClockSpec) MarshalJSON() ([]byte, error) {
+	return clockFamily.marshal(c.Name, c.params)
+}
+
+// Build constructs the clock model.
+func (c *ClockSpec) Build() (clock.Model, error) {
+	return clockFamily.build(c.Name, c.params)
+}
+
+// ---- Link factories ----
+
+// LinksSpec names a full link factory, overriding the plain delay
+// distribution. Names: arq (ARQLinkParams), fifo and random-delay
+// (DelayLinkParams, whose delay is a DistSpec).
+type LinksSpec struct {
+	Name   string
+	params any
+}
+
+type (
+	// ARQLinkParams: lossy stop-and-wait ARQ links, per-attempt success
+	// probability P, slot time Slot.
+	ARQLinkParams struct {
+		P    float64 `json:"p"`
+		Slot float64 `json:"slot"`
+	}
+	// DelayLinkParams: a delay distribution applied with a fixed link
+	// discipline (fifo preserves per-link order; random-delay does not).
+	DelayLinkParams struct {
+		Delay *DistSpec `json:"delay"`
+	}
+)
+
+func delayLinks(wrap func(dist.Dist) channel.Factory) entry[channel.Factory] {
+	return entry[channel.Factory]{
+		newParams: func() any { return &DelayLinkParams{} },
+		build: func(p any) (channel.Factory, error) {
+			pp := p.(*DelayLinkParams)
+			if pp.Delay == nil {
+				return nil, fmt.Errorf(`needs a "delay" distribution`)
+			}
+			d, err := pp.Delay.Build()
+			if err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		},
+	}
+}
+
+var linksFamily = &family[channel.Factory]{kind: "link factory", entries: map[string]entry[channel.Factory]{
+	"arq": {
+		newParams: func() any { return &ARQLinkParams{} },
+		build: func(p any) (channel.Factory, error) {
+			pp := p.(*ARQLinkParams)
+			// The factory defers link construction into the run, so validate
+			// the parameters eagerly here (panics become decode errors):
+			// an invalid (p, slot) must fail at decode time, not mid-run.
+			dist.NewRetransmission(pp.P, pp.Slot)
+			return channel.ARQFactory(pp.P, pp.Slot), nil
+		},
+	},
+	"fifo":         delayLinks(channel.FIFOFactory),
+	"random-delay": delayLinks(channel.RandomDelayFactory),
+}}
+
+// ARQLinks is the spec of channel.ARQFactory(p, slot).
+func ARQLinks(p, slot float64) *LinksSpec {
+	return &LinksSpec{Name: "arq", params: &ARQLinkParams{P: p, Slot: slot}}
+}
+
+// FIFOLinks is the spec of channel.FIFOFactory(delay).
+func FIFOLinks(delay *DistSpec) *LinksSpec {
+	return &LinksSpec{Name: "fifo", params: &DelayLinkParams{Delay: delay}}
+}
+
+// RandomDelayLinks is the spec of channel.RandomDelayFactory(delay).
+func RandomDelayLinks(delay *DistSpec) *LinksSpec {
+	return &LinksSpec{Name: "random-delay", params: &DelayLinkParams{Delay: delay}}
+}
+
+// UnmarshalJSON implements json.Unmarshaler (strict).
+func (l *LinksSpec) UnmarshalJSON(data []byte) error {
+	name, params, err := linksFamily.unmarshal(data)
+	if err != nil {
+		return err
+	}
+	l.Name, l.params = name, params
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler (canonical).
+func (l LinksSpec) MarshalJSON() ([]byte, error) {
+	return linksFamily.marshal(l.Name, l.params)
+}
+
+// Build constructs the link factory.
+func (l *LinksSpec) Build() (channel.Factory, error) {
+	return linksFamily.build(l.Name, l.params)
+}

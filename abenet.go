@@ -191,6 +191,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		TickInterval:       cfg.TickInterval,
 		ConstantActivation: cfg.ConstantActivation,
 		KeepRunning:        cfg.KeepRunning,
+		RecandidacyTimeout: cfg.RecandidacyTimeout,
 	})
 	if err != nil {
 		return ElectionResult{}, err
@@ -206,6 +207,8 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Activations:    extra.Activations,
 		Knockouts:      extra.Knockouts,
 		ResidualPurges: extra.ResidualPurges,
+		Recandidacies:  extra.Recandidacies,
+		StalePurges:    extra.StalePurges,
 		Violations:     rep.Violations,
 		Params:         rep.Params,
 		Faults:         rep.Faults,

@@ -15,9 +15,12 @@
 //  3. A scripted partition that heals — with a twist. Healing the
 //     *network* is not enough: the election has no self-stabilization
 //     (nodes knocked passive never re-candidate), so once every token has
-//     died at the cut the healed ring stays leaderless forever. Restart
-//     churn — crash-recovery bringing nodes back as fresh idle
-//     candidates — is what restores liveness.
+//     died at the cut the healed ring stays leaderless forever. Two
+//     escapes are shown: restart churn — crash-recovery bringing nodes
+//     back as fresh idle candidates — and the opt-in re-candidacy
+//     timeout (Election.RecandidacyTimeout), which lets a quiesced
+//     passive node rejoin as a candidate in a fresh epoch without any
+//     node ever dying.
 //
 // Every run is a pure function of (environment, fault plan, seed) — rerun
 // the example and the tables reproduce byte for byte.
@@ -115,6 +118,22 @@ func partition() {
 	}
 	fmt.Printf("heal + churn        : elected=%v — node %d wins at t=%.1f (churn: %d restarts)\n",
 		healed.Elected, healed.LeaderIndex, healed.Time, healed.Faults.Recoveries)
+
+	// Heal plus re-candidacy: same scenario and seed as the wedged run,
+	// but passive nodes that see no traffic for 150 local time units
+	// rejoin as candidates (in a fresh epoch, so stale knowledge cannot
+	// corrupt the hop arithmetic). Liveness returns without a single
+	// crash.
+	revived, err := abenet.Run(abenet.Env{
+		N: n, Seed: 11, Horizon: horizon,
+		Faults: &abenet.FaultPlan{Events: cut},
+	}, abenet.Election{RecandidacyTimeout: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heal + re-candidacy : elected=%v — node %d wins at t=%.1f (%d re-candidacies, 0 crashes)\n",
+		revived.Elected, revived.LeaderIndex, revived.Time,
+		revived.Extra.(abenet.ElectionExtra).Recandidacies)
 }
 
 // outcome aggregates a small seeded sweep by hand (the experiment harness

@@ -84,7 +84,7 @@ func (l *RandomDelay) Send(payload any) simtime.Duration {
 	d := simtime.Duration(l.delay.Sample(l.r))
 	l.stats.Sent++
 	l.stats.Transmissions++
-	l.kernel.After(d, func() {
+	l.kernel.AfterFunc(d, func() {
 		l.stats.Delivered++
 		l.stats.TotalDelay += d.Seconds()
 		l.deliver(payload)
@@ -129,7 +129,7 @@ func (l *FIFO) Send(payload any) simtime.Duration {
 	effective := arrival.Sub(sent)
 	l.stats.Sent++
 	l.stats.Transmissions++
-	l.kernel.At(arrival, func() {
+	l.kernel.AtFunc(arrival, func() {
 		l.stats.Delivered++
 		l.stats.TotalDelay += effective.Seconds()
 		l.deliver(payload)
@@ -178,7 +178,7 @@ func (l *ARQ) Send(payload any) simtime.Duration {
 	d := simtime.Duration(float64(attempts) * l.model.SlotTime)
 	l.stats.Sent++
 	l.stats.Transmissions += uint64(attempts)
-	l.kernel.After(d, func() {
+	l.kernel.AfterFunc(d, func() {
 		l.stats.Delivered++
 		l.stats.TotalDelay += d.Seconds()
 		l.deliver(payload)

@@ -246,3 +246,35 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// TestSendAllocations pins the hot delivery path's allocation budget: one
+// Send on a plain random-delay link must allocate only its delivery
+// closure — no kernel event, no ticket. The pin is an upper bound of 2
+// (closure + its capture block, which Go may or may not merge), so a
+// regression back to per-event kernel allocations (formerly +2) fails.
+func TestSendAllocations(t *testing.T) {
+	k := sim.New()
+	r := rng.New(1)
+	delivered := 0
+	l := NewRandomDelay(k, dist.NewDeterministic(1), r, func(any) { delivered++ })
+	var payload any = 7
+	// Warm the kernel's heap slice.
+	for i := 0; i < 64; i++ {
+		l.Send(payload)
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		l.Send(payload)
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Errorf("Send+deliver allocates %g objects per message, want at most the 2 for the delivery closure", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing was delivered")
+	}
+}

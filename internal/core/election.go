@@ -39,8 +39,15 @@ func (s State) String() string {
 // HopMessage is the single message type of the election algorithm: a hop
 // counter in {1..n} certifying that Hop−1 consecutive predecessors of the
 // receiver are passive.
+//
+// Epoch is always 0 in the paper's algorithm. Under the opt-in
+// re-candidacy rule it stamps which re-candidacy wave the token belongs
+// to: a passivity certificate is only valid within the epoch whose resets
+// produced it, so nodes purge tokens from older epochs and reset their
+// knowledge when a newer epoch reaches them.
 type HopMessage struct {
-	Hop int
+	Hop   int
+	Epoch int
 }
 
 // tickTimer is the kind of the per-node wake-up timer.
@@ -101,15 +108,24 @@ type ElectionNode struct {
 	stopOnLeader bool
 	constantAct  bool
 	sendPort     int
+	recandidacy  float64 // passive→idle timeout in local clock units; 0 disables
 
 	state State
 	d     int
+	epoch int // re-candidacy wave this node's knowledge belongs to; 0 forever in the paper's algorithm
+
+	// lastActivity is the local-clock instant of the node's last protocol
+	// activity (message seen or state transition), tracked only when
+	// re-candidacy is enabled so disabled runs stay byte-identical.
+	lastActivity float64
 
 	// Counters for experiments and invariant checks.
 	Activations    int      // idle→active transitions
 	Knockouts      int      // messages purged while active (hop < n)
 	Relays         int      // messages forwarded (as idle or passive)
 	ResidualPurges int      // messages purged after becoming leader
+	Recandidacies  int      // timeout-driven returns to the idle state (re-candidacy mode only)
+	StalePurges    int      // tokens purged for carrying an outdated epoch (re-candidacy mode only)
 	Violations     []string // invariant violations observed (always empty if the algorithm is correct)
 }
 
@@ -137,6 +153,18 @@ type ElectionNodeConfig struct {
 	// the unidirectional ring it is 0; on richer topologies it is the port
 	// of the embedded Hamiltonian cycle (topology.RingEmbedding).
 	SendPort int
+	// RecandidacyTimeout, when positive, lets a passive node return to the
+	// idle state (with d reset to 1, as if restarted by churn) after that
+	// many local clock units without seeing a single message. The paper's
+	// algorithm has no such rule — once passive, forever passive — which is
+	// correct in the fault-free model but leaves a healed partition
+	// leaderless forever: every token died at the cut and nobody is left to
+	// re-candidate. The timeout restores liveness after such faults without
+	// requiring restart churn. Choose it large against n·δ (several ring
+	// traversals) so a quiesced network is overwhelmingly likely before
+	// anyone re-candidates; 0 (the default) disables the rule and keeps
+	// runs byte-identical to the unmodified algorithm.
+	RecandidacyTimeout float64
 }
 
 // NewElectionNode validates the configuration and returns a node in the
@@ -157,6 +185,9 @@ func NewElectionNode(cfg ElectionNodeConfig) (*ElectionNode, error) {
 	if cfg.SendPort < 0 {
 		return nil, fmt.Errorf("core: send port %d must be non-negative", cfg.SendPort)
 	}
+	if cfg.RecandidacyTimeout < 0 || math.IsNaN(cfg.RecandidacyTimeout) || math.IsInf(cfg.RecandidacyTimeout, 0) {
+		return nil, fmt.Errorf("core: re-candidacy timeout %g must be non-negative and finite", cfg.RecandidacyTimeout)
+	}
 	return &ElectionNode{
 		ringSize:     cfg.RingSize,
 		a0:           cfg.A0,
@@ -164,6 +195,7 @@ func NewElectionNode(cfg ElectionNodeConfig) (*ElectionNode, error) {
 		stopOnLeader: cfg.StopOnLeader,
 		constantAct:  cfg.ConstantActivation,
 		sendPort:     cfg.SendPort,
+		recandidacy:  cfg.RecandidacyTimeout,
 		state:        Idle,
 		d:            1,
 	}, nil
@@ -188,24 +220,49 @@ func (e *ElectionNode) ActivationProbability() float64 {
 
 // Init implements network.Node: start the local tick loop.
 func (e *ElectionNode) Init(ctx *network.Context) {
-	ctx.SetLocalTimer(e.tickInterval, tickTimer)
+	ctx.SetLocalTimerFunc(e.tickInterval, tickTimer)
 }
 
-// OnTimer implements network.Node: the idle wake-up rule.
+// OnTimer implements network.Node: the idle wake-up rule, plus the opt-in
+// re-candidacy rule for passive nodes.
 func (e *ElectionNode) OnTimer(ctx *network.Context, kind int) {
 	if kind != tickTimer {
 		e.violate("unexpected timer kind %d", kind)
 		return
 	}
 	// The tick loop runs for the node's lifetime; only idle ticks can act.
-	ctx.SetLocalTimer(e.tickInterval, tickTimer)
+	ctx.SetLocalTimerFunc(e.tickInterval, tickTimer)
+	if e.recandidacy > 0 && (e.state == Passive || e.state == Active) &&
+		ctx.LocalTime()-e.lastActivity >= e.recandidacy {
+		// Nothing has flowed past this node for the whole timeout: assume
+		// the election wedged (e.g. every token died at a partition cut —
+		// including this node's own, if it is still waiting as an active
+		// candidate) and rejoin as a fresh candidate in a new epoch. The
+		// epoch bump is what keeps the paper's d+1 relay jumps sound: d
+		// certifies "d−1 consecutive predecessors are passive", and a
+		// passive→idle reset silently voids every downstream d that
+		// counted this node — so knowledge accumulated before the reset
+		// must never mix with knowledge after it. Tokens carry the epoch;
+		// older-epoch tokens are purged, newer-epoch tokens reset d as
+		// they pass, and within one epoch the fault-free invariants hold.
+		e.state = Idle
+		e.d = 1
+		e.epoch++
+		e.Recandidacies++
+		e.lastActivity = ctx.LocalTime()
+	}
 	if e.state != Idle {
 		return
 	}
 	if ctx.Rand().Bool(e.ActivationProbability()) {
 		e.state = Active
 		e.Activations++
-		ctx.Send(e.sendPort, HopMessage{Hop: 1})
+		if e.recandidacy > 0 {
+			// The candidacy is this node's own activity: give the token a
+			// full timeout's worth of patience to come back around.
+			e.lastActivity = ctx.LocalTime()
+		}
+		ctx.Send(e.sendPort, HopMessage{Hop: 1, Epoch: e.epoch})
 	}
 }
 
@@ -215,6 +272,32 @@ func (e *ElectionNode) OnMessage(ctx *network.Context, _ int, payload any) {
 	if !ok {
 		e.violate("foreign payload %T", payload)
 		return
+	}
+	if e.recandidacy > 0 && e.state != Leader {
+		switch {
+		case msg.Epoch < e.epoch:
+			// A token from before a re-candidacy wave: its passivity
+			// certificate counts nodes that have since reset, so it must
+			// not knock anyone out, win, or feed anyone's d. Purge it.
+			e.StalePurges++
+			return
+		case msg.Epoch > e.epoch:
+			// A newer wave reached this node: all pre-wave knowledge is
+			// void. Adopt the epoch with fresh d; an own candidacy from
+			// the old epoch is void too (its token, if alive, will be
+			// purged — and counted — as stale wherever it lands, so this
+			// demotion bumps no counter: the node goes on to handle the
+			// incoming token normally, typically relaying it.
+			e.epoch = msg.Epoch
+			e.d = 1
+			if e.state == Active {
+				e.state = Idle
+			}
+		}
+		// Current-epoch traffic proves the election is flowing; push the
+		// re-candidacy deadline out. All of this is guarded so disabled
+		// runs never touch the local clock here and stay byte-identical.
+		e.lastActivity = ctx.LocalTime()
 	}
 	if msg.Hop < 1 || msg.Hop > e.ringSize {
 		// The algorithm guarantees hop ∈ {1..n}; seeing anything else
@@ -230,10 +313,10 @@ func (e *ElectionNode) OnMessage(ctx *network.Context, _ int, payload any) {
 	case Idle:
 		e.state = Passive
 		e.Relays++
-		ctx.Send(e.sendPort, HopMessage{Hop: e.d + 1})
+		ctx.Send(e.sendPort, HopMessage{Hop: e.d + 1, Epoch: e.epoch})
 	case Passive:
 		e.Relays++
-		ctx.Send(e.sendPort, HopMessage{Hop: e.d + 1})
+		ctx.Send(e.sendPort, HopMessage{Hop: e.d + 1, Epoch: e.epoch})
 	case Active:
 		if msg.Hop == e.ringSize {
 			e.state = Leader

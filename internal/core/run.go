@@ -40,6 +40,12 @@ type ElectionConfig struct {
 	TickInterval float64
 	// ConstantActivation enables the E5 ablation.
 	ConstantActivation bool
+	// RecandidacyTimeout, when positive, lets passive nodes rejoin as
+	// candidates after that many message-free local clock units — the
+	// opt-in liveness patch for runs whose faults can wedge the election
+	// (e.g. a healed partition). See ElectionNodeConfig.RecandidacyTimeout.
+	// 0 (the default) keeps the paper's passive-forever rule.
+	RecandidacyTimeout float64
 	// KeepRunning disables stop-on-leader: the run continues to Horizon,
 	// exposing residual traffic and (if the algorithm were wrong) second
 	// leaders. Safety experiments use this.
@@ -83,6 +89,12 @@ type ElectionResult struct {
 	Knockouts int
 	// ResidualPurges counts messages absorbed by the leader.
 	ResidualPurges int
+	// Recandidacies counts passive→idle transitions via the opt-in
+	// re-candidacy timeout (always 0 when the timeout is disabled).
+	Recandidacies int
+	// StalePurges counts tokens purged for carrying an outdated epoch
+	// (always 0 when the re-candidacy timeout is disabled).
+	StalePurges int
 	// Violations collects invariant violations from all nodes; empty in
 	// every correct run.
 	Violations []string
@@ -160,6 +172,8 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 			retired.Activations += old.Activations
 			retired.Knockouts += old.Knockouts
 			retired.ResidualPurges += old.ResidualPurges
+			retired.Recandidacies += old.Recandidacies
+			retired.StalePurges += old.StalePurges
 			retired.Violations = append(retired.Violations, old.Violations...)
 		}
 		sendPort := 0
@@ -173,6 +187,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 			StopOnLeader:       !cfg.KeepRunning,
 			ConstantActivation: cfg.ConstantActivation,
 			SendPort:           sendPort,
+			RecandidacyTimeout: cfg.RecandidacyTimeout,
 		})
 		if err != nil {
 			buildErr = err
@@ -198,6 +213,8 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Activations:    retired.Activations,
 		Knockouts:      retired.Knockouts,
 		ResidualPurges: retired.ResidualPurges,
+		Recandidacies:  retired.Recandidacies,
+		StalePurges:    retired.StalePurges,
 		Violations:     retired.Violations,
 	}
 	for i, node := range nodes {
@@ -208,6 +225,8 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		res.Activations += node.Activations
 		res.Knockouts += node.Knockouts
 		res.ResidualPurges += node.ResidualPurges
+		res.Recandidacies += node.Recandidacies
+		res.StalePurges += node.StalePurges
 		res.Violations = append(res.Violations, node.Violations...)
 	}
 	res.Elected = res.Leaders > 0

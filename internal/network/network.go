@@ -239,7 +239,7 @@ func (net *Network) process(v, counterKind int, work func()) {
 	}
 	completion := start.Add(simtime.Duration(net.cfg.Processing.Sample(net.ctxs[v].proc)))
 	net.nextFree[v] = completion
-	net.kernel.At(completion, work)
+	net.kernel.AtFunc(completion, work)
 }
 
 // Run initialises all nodes (in index order at time zero) and executes the
@@ -381,11 +381,30 @@ func (c *Context) LocalTime() float64 { return c.net.clocks[c.id].LocalAt(c.net.
 // has advanced by localDelta (> 0). The returned ticket can cancel it.
 // Timers belong to the incarnation that set them: if the node crashes (or
 // crashes and restarts) before the fire instant, the fire is suppressed.
+// Protocols that never cancel their timers should use SetLocalTimerFunc,
+// which skips the ticket allocation.
 func (c *Context) SetLocalTimer(localDelta float64, kind int) *sim.Ticket {
+	return c.net.kernel.At(c.timerInstant(localDelta), c.timerFire(kind))
+}
+
+// SetLocalTimerFunc is SetLocalTimer without a cancellation ticket — the
+// allocation-free path for fire-and-forget timers such as tick loops.
+func (c *Context) SetLocalTimerFunc(localDelta float64, kind int) {
+	c.net.kernel.AtFunc(c.timerInstant(localDelta), c.timerFire(kind))
+}
+
+// timerInstant validates localDelta and converts it to the real fire
+// instant on the node's local clock.
+func (c *Context) timerInstant(localDelta float64) simtime.Time {
 	if localDelta <= 0 {
 		panic(fmt.Sprintf("network: local timer delta %g must be positive", localDelta))
 	}
-	at := c.net.clocks[c.id].RealAfterLocal(c.net.kernel.Now(), localDelta)
+	return c.net.clocks[c.id].RealAfterLocal(c.net.kernel.Now(), localDelta)
+}
+
+// timerFire builds the kernel handler for a local timer, including the
+// crash-epoch guard under fault injection.
+func (c *Context) timerFire(kind int) sim.Handler {
 	fire := func() {
 		c.net.metrics.TimersFired++
 		if c.net.cfg.Tracer != nil {
@@ -398,7 +417,7 @@ func (c *Context) SetLocalTimer(localDelta float64, kind int) *sim.Ticket {
 	if life := c.net.life; life != nil {
 		fire = life.guard(c.id, &life.tel.TimersSuppressed, fire)
 	}
-	return c.net.kernel.At(at, fire)
+	return fire
 }
 
 // Rand returns the node's private random stream.

@@ -28,6 +28,13 @@ type Election struct {
 	ConstantActivation bool
 	// KeepRunning disables stop-on-leader; requires a finite Env.Horizon.
 	KeepRunning bool
+	// RecandidacyTimeout, when positive, lets passive nodes rejoin as
+	// candidates after that many message-free local clock units. This is
+	// the opt-in liveness patch for fault plans that can wedge the
+	// election (a healed partition leaves every survivor passive and no
+	// token alive); choose it large against n·δ. 0 keeps the paper's
+	// passive-forever rule and byte-identical runs.
+	RecandidacyTimeout float64
 }
 
 // Name implements Protocol.
@@ -62,6 +69,7 @@ func (p Election) Run(env Env) (Report, error) {
 		TickInterval:       p.TickInterval,
 		ConstantActivation: p.ConstantActivation,
 		KeepRunning:        p.KeepRunning,
+		RecandidacyTimeout: p.RecandidacyTimeout,
 		Horizon:            env.Horizon,
 		MaxEvents:          env.MaxEvents,
 		Seed:               env.Seed,
@@ -85,6 +93,8 @@ func (p Election) Run(env Env) (Report, error) {
 			Activations:    res.Activations,
 			Knockouts:      res.Knockouts,
 			ResidualPurges: res.ResidualPurges,
+			Recandidacies:  res.Recandidacies,
+			StalePurges:    res.StalePurges,
 		},
 	}, nil
 }

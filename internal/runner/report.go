@@ -105,12 +105,20 @@ type ElectionExtra struct {
 	Knockouts int
 	// ResidualPurges counts messages absorbed by the leader.
 	ResidualPurges int
+	// Recandidacies counts passive→idle transitions via the opt-in
+	// re-candidacy timeout (0 whenever the timeout is disabled).
+	Recandidacies int
+	// StalePurges counts tokens purged for carrying an outdated
+	// re-candidacy epoch (0 whenever the timeout is disabled).
+	StalePurges int
 }
 
 func (x ElectionExtra) metricsInto(m map[string]float64) {
 	m["activations"] = float64(x.Activations)
 	m["knockouts"] = float64(x.Knockouts)
 	m["residual_purges"] = float64(x.ResidualPurges)
+	m["recandidacies"] = float64(x.Recandidacies)
+	m["stale_purges"] = float64(x.StalePurges)
 }
 
 // SyncExtra is the Extra payload of synchronized executions.

@@ -7,10 +7,28 @@
 // of the initial schedule and the random seed. That determinism is what
 // makes the paper's expected-complexity claims measurable: every data point
 // is reproducible from (parameters, seed).
+//
+// # Scheduling internals
+//
+// The pending-event set is an intrusive 4-ary min-heap ordered by
+// (instant, insertion sequence) and stored in a single value slice — the
+// slice doubles as the event pool, so steady-state scheduling allocates
+// nothing. There is no container/heap and no interface boxing on the hot
+// path. Two API tiers sit on top of it:
+//
+//   - AtFunc / AfterFunc — the ticketless fast path. No per-event
+//     allocation at all; use these whenever the caller never cancels
+//     (message deliveries, self-rescheduling tick loops, fault timelines).
+//   - At / After — allocate one *Ticket so the event can be cancelled
+//     later. Cancellation marks the heap entry dead in place; dead entries
+//     are skipped on pop and compacted away wholesale once they outnumber
+//     the live ones, so cancel-heavy workloads (ARQ retransmit timers)
+//     cannot bloat the heap.
+//
+// Pending() is O(1): the kernel tracks the live-event count directly.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -25,73 +43,61 @@ var ErrStopped = errors.New("sim: stopped")
 // instant and may schedule further events.
 type Handler func()
 
-// event is one entry in the pending-event set.
+// event is one entry in the pending-event set. Events are stored by value
+// inside the kernel's heap slice; they are never heap-allocated
+// individually.
 type event struct {
 	at     simtime.Time
 	seq    uint64 // tie-break: events at equal instants run in schedule order
 	fn     Handler
-	index  int // heap index, maintained by eventQueue
-	dead   bool
-	ticket *Ticket
+	ticket *Ticket // non-nil only for ticketed (cancellable) events
+	dead   bool    // cancelled; skipped on pop, removed by compaction
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (at, seq). seq is unique per kernel, so the order
+// is total and every correct heap pops the exact same sequence — the
+// golden-seed pins depend on that.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("sim: eventQueue.Push received a non-event")
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Ticket identifies a scheduled event so it can be cancelled. The zero value
 // is not a valid ticket; tickets come from Kernel.At and Kernel.After.
 type Ticket struct {
-	ev *event
+	k   *Kernel
+	idx int // heap index of the event; -1 once it ran or was cancelled
 }
 
 // Cancel removes the event from the schedule if it has not run yet. Cancel
 // is idempotent and reports whether the event was actually cancelled (false
-// if it already ran or was already cancelled).
+// if it already ran or was already cancelled). The captured handler is
+// released immediately; the heap slot itself is reclaimed lazily (on pop or
+// at the next compaction).
 func (t *Ticket) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.k == nil || t.idx < 0 {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil // release captured state promptly
+	k := t.k
+	ev := &k.heap[t.idx]
+	ev.dead = true
+	ev.fn = nil // release captured state promptly
+	ev.ticket = nil
+	t.idx = -1
+	k.live--
+	k.dead++
+	k.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event is still scheduled.
-func (t *Ticket) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+func (t *Ticket) Pending() bool { return t != nil && t.idx >= 0 }
+
+// compactMinLen is the heap length below which compaction is never
+// worthwhile: popping the few dead entries lazily is cheaper than a sweep.
+const compactMinLen = 64
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; create
 // one with New. Kernel is not safe for concurrent use: simulations are
@@ -99,8 +105,10 @@ func (t *Ticket) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
 // running independent Kernels on separate goroutines.
 type Kernel struct {
 	now       simtime.Time
-	queue     eventQueue
+	heap      []event // 4-ary min-heap by (at, seq); the slice is the event pool
 	seq       uint64
+	live      int // scheduled, not cancelled — Pending() in O(1)
+	dead      int // cancelled entries still occupying heap slots
 	executed  uint64
 	stopped   bool
 	running   bool
@@ -120,45 +128,70 @@ func (k *Kernel) Now() simtime.Time { return k.now }
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending returns the number of scheduled (not yet executed, not cancelled)
-// events. Cancelled events still occupying the heap are not counted.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, ev := range k.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// events in O(1). Cancelled events still occupying heap slots are not
+// counted.
+func (k *Kernel) Pending() int { return k.live }
 
-// At schedules fn to run at instant at. Scheduling strictly in the past is a
-// programming error and panics; scheduling at the current instant is allowed
-// and runs after all previously scheduled events for that instant.
-func (k *Kernel) At(at simtime.Time, fn Handler) *Ticket {
+// QueueLen returns the number of heap slots currently in use, including
+// cancelled entries that have not been compacted away yet. It exists for
+// capacity accounting and tests: QueueLen−Pending is the dead backlog,
+// and compaction (triggered when dead entries outnumber live ones) keeps
+// QueueLen at most 2·Pending+compactMinLen.
+func (k *Kernel) QueueLen() int { return len(k.heap) }
+
+// schedule validates and enqueues one event, returning its heap index.
+func (k *Kernel) schedule(at simtime.Time, fn Handler, ticket *Ticket) int {
 	if fn == nil {
-		panic("sim: At called with nil handler")
+		panic("sim: scheduling a nil handler")
 	}
 	if !at.IsFinite() {
-		panic(fmt.Sprintf("sim: At called with non-finite time %v", at))
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", at))
 	}
 	if at.Before(k.now) {
 		panic(fmt.Sprintf("sim: scheduling into the past: now %v, requested %v", k.now, at))
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	ev := event{at: at, seq: k.seq, fn: fn, ticket: ticket}
 	k.seq++
-	ticket := &Ticket{ev: ev}
-	ev.ticket = ticket
-	heap.Push(&k.queue, ev)
-	return ticket
+	k.live++
+	k.heap = append(k.heap, ev)
+	return k.siftUp(len(k.heap) - 1)
 }
 
-// After schedules fn to run d time units from now. It panics if d is
-// negative or non-finite.
+// At schedules fn to run at instant at and returns a cancellation ticket.
+// Scheduling strictly in the past is a programming error and panics;
+// scheduling at the current instant is allowed and runs after all
+// previously scheduled events for that instant. Callers that never cancel
+// should prefer AtFunc, which skips the ticket allocation.
+func (k *Kernel) At(at simtime.Time, fn Handler) *Ticket {
+	t := &Ticket{k: k}
+	t.idx = k.schedule(at, fn, t)
+	return t
+}
+
+// AtFunc schedules fn to run at instant at, with the same validation as At
+// but no cancellation handle — and therefore no per-event allocation. This
+// is the hot path for the overwhelming share of events (message
+// deliveries, tick loops, fault timelines), which are never cancelled.
+func (k *Kernel) AtFunc(at simtime.Time, fn Handler) {
+	k.schedule(at, fn, nil)
+}
+
+// After schedules fn to run d time units from now and returns a
+// cancellation ticket. It panics if d is negative or non-finite.
 func (k *Kernel) After(d simtime.Duration, fn Handler) *Ticket {
 	if !d.Valid() {
 		panic(fmt.Sprintf("sim: After called with invalid duration %v", d))
 	}
 	return k.At(k.now.Add(d), fn)
+}
+
+// AfterFunc schedules fn to run d time units from now without a ticket —
+// the allocation-free counterpart of After.
+func (k *Kernel) AfterFunc(d simtime.Duration, fn Handler) {
+	if !d.Valid() {
+		panic(fmt.Sprintf("sim: AfterFunc called with invalid duration %v", d))
+	}
+	k.AtFunc(k.now.Add(d), fn)
 }
 
 // Stop halts the simulation after the currently executing event completes.
@@ -194,57 +227,192 @@ func (k *Kernel) Run(horizon simtime.Time, maxEvents uint64) error {
 		if k.stopped {
 			return ErrStopped
 		}
-		ev := k.next()
-		if ev == nil {
+		k.dropDead()
+		if len(k.heap) == 0 {
 			return nil // drained
 		}
-		if ev.at.After(horizon) {
-			// Leave the event scheduled; put it back and halt at horizon.
-			heap.Push(&k.queue, ev)
-			k.now = horizon
+		if k.heap[0].at.After(horizon) {
+			// Leave the event scheduled and halt at the horizon. The clock
+			// only ever moves forward: a horizon already in the past (a
+			// resumed kernel driven with a smaller bound) must not rewind.
+			if horizon.After(k.now) {
+				k.now = horizon
+			}
 			return nil
 		}
 		if maxEvents > 0 && k.executed-start >= maxEvents {
-			heap.Push(&k.queue, ev)
 			return fmt.Errorf("sim: exceeded %d events at %v (possible livelock)", maxEvents, k.now)
 		}
-		k.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		ev.dead = true
-		k.executed++
-		fn()
+		k.execute()
 	}
-}
-
-// next pops the earliest live event, skipping cancelled ones.
-func (k *Kernel) next() *event {
-	for k.queue.Len() > 0 {
-		ev, ok := heap.Pop(&k.queue).(*event)
-		if !ok {
-			panic("sim: heap contained a non-event")
-		}
-		if ev.dead {
-			continue
-		}
-		return ev
-	}
-	return nil
 }
 
 // Step executes exactly one pending event (the earliest) and returns true,
-// or returns false if the schedule is empty. Useful for fine-grained tests
-// and the bounded model checker's scheduler.
+// or returns false if the schedule is empty or the kernel has been stopped
+// — Step honours Stop exactly like Run does (a stopped kernel makes no
+// progress until the stop is observed by the driver). Step ignores any
+// horizon; use StepWithin to bound it. Useful for fine-grained tests and
+// bounded model-checking drivers.
 func (k *Kernel) Step() bool {
-	ev := k.next()
-	if ev == nil {
+	return k.StepWithin(simtime.Forever)
+}
+
+// StepWithin is Step with a horizon guard, mirroring Run: if the earliest
+// pending event lies strictly beyond horizon, no event runs, virtual time
+// advances to the horizon, and StepWithin returns false with the event
+// still scheduled.
+func (k *Kernel) StepWithin(horizon simtime.Time) bool {
+	if k.stopped {
 		return false
 	}
-	k.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	ev.dead = true
-	k.executed++
-	fn()
+	k.dropDead()
+	if len(k.heap) == 0 {
+		return false
+	}
+	if k.heap[0].at.After(horizon) {
+		if horizon.After(k.now) {
+			k.now = horizon
+		}
+		return false
+	}
+	k.execute()
 	return true
+}
+
+// execute pops the root event (which must exist and be live) and runs it.
+func (k *Kernel) execute() {
+	ev := k.popRoot()
+	if ev.ticket != nil {
+		ev.ticket.idx = -1
+	}
+	k.live--
+	// Executing live events shrinks the live population too, so the dead
+	// fraction can cross the compaction threshold here just as it can on
+	// Cancel — without this, a cancel-then-run workload would carry its
+	// dead entries until virtual time reached them.
+	k.maybeCompact()
+	k.now = ev.at
+	k.executed++
+	ev.fn()
+}
+
+// dropDead discards cancelled events sitting at the heap root so the root
+// is either live or the heap is empty.
+func (k *Kernel) dropDead() {
+	for len(k.heap) > 0 && k.heap[0].dead {
+		k.popRoot()
+		k.dead--
+	}
+}
+
+// popRoot removes and returns the root event, maintaining the heap
+// property and ticket back-pointers. The vacated slot is zeroed so the
+// handler's captures are released.
+func (k *Kernel) popRoot() event {
+	ev := k.heap[0]
+	n := len(k.heap) - 1
+	if n > 0 {
+		k.heap[0] = k.heap[n]
+	}
+	k.heap[n] = event{}
+	k.heap = k.heap[:n]
+	if n > 0 {
+		k.siftDown(0) // also refreshes the moved entry's ticket index
+	}
+	return ev
+}
+
+// siftUp restores the heap property for the entry at index i by moving it
+// towards the root, updating ticket back-pointers of displaced entries. It
+// returns the entry's final index.
+func (k *Kernel) siftUp(i int) int {
+	ev := k.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(&ev, &k.heap[p]) {
+			break
+		}
+		k.heap[i] = k.heap[p]
+		if t := k.heap[i].ticket; t != nil {
+			t.idx = i
+		}
+		i = p
+	}
+	k.heap[i] = ev
+	if ev.ticket != nil {
+		ev.ticket.idx = i
+	}
+	return i
+}
+
+// siftDown restores the heap property for the entry at index i by moving it
+// towards the leaves, updating ticket back-pointers of displaced entries.
+func (k *Kernel) siftDown(i int) {
+	n := len(k.heap)
+	ev := k.heap[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&k.heap[j], &k.heap[m]) {
+				m = j
+			}
+		}
+		if !less(&k.heap[m], &ev) {
+			break
+		}
+		k.heap[i] = k.heap[m]
+		if t := k.heap[i].ticket; t != nil {
+			t.idx = i
+		}
+		i = m
+	}
+	k.heap[i] = ev
+	if ev.ticket != nil {
+		ev.ticket.idx = i
+	}
+}
+
+// maybeCompact sweeps cancelled entries out of the heap once they outnumber
+// the live ones (and the heap is big enough for the sweep to pay off). The
+// trigger depends only on counters, so compaction — like everything else
+// here — is a deterministic function of the schedule.
+func (k *Kernel) maybeCompact() {
+	if len(k.heap) >= compactMinLen && k.dead > len(k.heap)/2 {
+		k.compact()
+	}
+}
+
+// compact removes every dead entry in one pass and re-establishes the heap
+// property and ticket back-pointers. Pop order is unaffected: (at, seq)
+// is a total order, so any heap over the same live set pops identically.
+func (k *Kernel) compact() {
+	liveEvents := k.heap[:0]
+	for i := range k.heap {
+		if !k.heap[i].dead {
+			liveEvents = append(liveEvents, k.heap[i])
+		}
+	}
+	for i := len(liveEvents); i < len(k.heap); i++ {
+		k.heap[i] = event{} // release the vacated tail
+	}
+	k.heap = liveEvents
+	k.dead = 0
+	if n := len(k.heap); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			k.siftDown(i)
+		}
+	}
+	for i := range k.heap {
+		if t := k.heap[i].ticket; t != nil {
+			t.idx = i
+		}
+	}
 }

@@ -85,7 +85,7 @@ var _ network.Node = (*clockSyncNode)(nil)
 
 // Init implements network.Node: schedule the first round start.
 func (n *clockSyncNode) Init(ctx *network.Context) {
-	ctx.SetLocalTimer(n.period, 0)
+	ctx.SetLocalTimerFunc(n.period, 0)
 }
 
 // OnTimer implements network.Node: a round boundary on the local clock.
@@ -98,7 +98,7 @@ func (n *clockSyncNode) OnTimer(ctx *network.Context, _ int) {
 	}
 	n.round++
 	if n.round < n.rounds {
-		ctx.SetLocalTimer(n.period, 0)
+		ctx.SetLocalTimerFunc(n.period, 0)
 	}
 }
 

@@ -4,11 +4,18 @@
 // and a stable ordering. CI pipes the benchmark smoke run through it to
 // publish BENCH_pr2.json next to the seed baseline.
 //
+// With -baseline FILE it additionally prints a per-benchmark ns/op
+// comparison against a previously committed BENCH_*.json to stderr, so a
+// kernel regression is visible directly in the CI log (timings are
+// single-iteration smoke numbers: treat large consistent swings as
+// signal, small ones as noise).
+//
 // Usage:
 //
 //	go test -bench . -benchtime 1x -run '^$' . | go run ./internal/tools/benchjson \
 //	    -command "go test -bench . -benchtime 1x -run '^$' ." \
-//	    -note "PR benchmark smoke through the unified Run path" > BENCH_pr2.json
+//	    -note "PR benchmark smoke through the unified Run path" \
+//	    -baseline BENCH_pr4.json > BENCH_pr5.json
 package main
 
 import (
@@ -40,6 +47,7 @@ type output struct {
 func main() {
 	command := flag.String("command", "go test -bench . -benchtime 1x -run '^$' .", "command recorded in the document")
 	note := flag.String("note", "benchmark smoke: single-iteration timings are indicative only; the attached metrics pin the experiments' headline findings", "note recorded in the document")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to print a ns/op comparison against (stderr)")
 	flag.Parse()
 
 	out := output{
@@ -107,4 +115,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		if err := compare(*baseline, out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compare prints a per-benchmark ns/op delta table against a committed
+// baseline document to stderr. Benchmarks present on only one side are
+// listed as added/removed rather than silently skipped.
+func compare(path string, current output) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	names := map[string]bool{}
+	for name := range base.Benchmarks {
+		names[name] = true
+	}
+	for name := range current.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(os.Stderr, "benchmark comparison vs %s (smoke timings: treat small deltas as noise)\n", path)
+	fmt.Fprintf(os.Stderr, "%-44s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range sorted {
+		b, inBase := base.Benchmarks[name]
+		c, inCur := current.Benchmarks[name]
+		switch {
+		case !inBase:
+			fmt.Fprintf(os.Stderr, "%-44s %14s %14.0f %9s\n", name, "—", c.NsPerOp, "added")
+		case !inCur:
+			fmt.Fprintf(os.Stderr, "%-44s %14.0f %14s %9s\n", name, b.NsPerOp, "—", "removed")
+		case b.NsPerOp == 0:
+			fmt.Fprintf(os.Stderr, "%-44s %14.0f %14.0f %9s\n", name, b.NsPerOp, c.NsPerOp, "—")
+		default:
+			fmt.Fprintf(os.Stderr, "%-44s %14.0f %14.0f %+8.1f%%\n",
+				name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+	}
+	return nil
 }

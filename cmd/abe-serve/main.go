@@ -1,12 +1,14 @@
 // Command abe-serve serves ABE scenario runs over HTTP: POST a scenario
 // spec (the internal/spec JSON schema), get back the run's report and
-// metrics — computed once per (spec hash, seed) and served from the result
-// cache on every resubmission.
+// metrics — computed once per (spec hash, seed), served from the two-tier
+// result cache (memory LRU in front of an optional persistent disk store)
+// on every resubmission, across restarts when -store is set.
 //
 // Usage:
 //
 //	abe-serve [-addr :8080] [-workers 2] [-sweep-workers 0]
-//	          [-queue 64] [-cache 1024]
+//	          [-queue 64] [-cache 1024] [-store DIR]
+//	          [-max-body 1048576] [-submit-rate 0] [-submit-burst 0]
 //
 // API:
 //
@@ -14,11 +16,11 @@
 //	GET    /v1/runs/{id}   job status / result
 //	DELETE /v1/runs/{id}   cancel
 //	GET    /v1/protocols   registry metadata (names, options, capabilities)
-//	GET    /healthz        liveness + counters
+//	GET    /healthz        liveness + counters (per-tier cache hits)
 //
 // Quickstart:
 //
-//	abe-serve &
+//	abe-serve -store /var/lib/abe &
 //	curl -s localhost:8080/v1/runs -d '{"spec": '"$(cat examples/specs/election_ring.json)"', "wait": true}'
 package main
 
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"abenet/internal/service"
+	"abenet/internal/store"
 )
 
 func main() {
@@ -49,19 +52,36 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent job executors (0 = 2)")
 	sweepWorkers := flag.Int("sweep-workers", 0, "cap on per-sweep parallelism (0 = spec / GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "queued-job bound (0 = 64)")
-	cache := flag.Int("cache", 0, "result-cache entries (0 = 1024)")
+	cache := flag.Int("cache", 0, "memory-tier result-cache entries (0 = 1024)")
+	storeDir := flag.String("store", "", "persistent result-store directory (empty = memory only)")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "POST body byte cap (requests beyond it get 413)")
+	submitRate := flag.Float64("submit-rate", 0, "admission control: sustained fresh submissions/sec (0 = unlimited)")
+	submitBurst := flag.Int("submit-burst", 0, "admission control burst (0 = 2×rate)")
 	flag.Parse()
+
+	var persist store.Store[*service.Result]
+	if *storeDir != "" {
+		disk, err := store.OpenDisk[*service.Result](*storeDir)
+		if err != nil {
+			return err
+		}
+		log.Printf("abe-serve: persistent result store at %s (%d entries)", disk.Dir(), disk.Len())
+		persist = disk
+	}
 
 	svc := service.New(service.Options{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		SweepWorkers: *sweepWorkers,
+		Persist:      persist,
+		SubmitRate:   *submitRate,
+		SubmitBurst:  *submitBurst,
 	})
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           service.NewHandler(svc, service.HandlerOptions{MaxBodyBytes: *maxBody}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

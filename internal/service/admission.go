@@ -1,0 +1,88 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded: admission control rejected the submission; the error
+// carries a retry hint (see RetryAfter). The HTTP layer maps it to
+// 503 + Retry-After so overload degrades to polite backpressure instead
+// of queue starvation.
+var ErrOverloaded = errors.New("service: submission rate limit exceeded")
+
+// overloadError wraps ErrOverloaded with the token bucket's estimate of
+// when the next submission will be admitted.
+type overloadError struct {
+	retryAfter time.Duration
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("service: submission rate limit exceeded (retry in %s)", e.retryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for callers that only care
+// about the category.
+func (e *overloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// RetryAfter extracts the retry hint from an ErrOverloaded error, rounded
+// up to whole seconds (minimum 1) — the shape the Retry-After header wants.
+func RetryAfter(err error) int {
+	var oe *overloadError
+	if !errors.As(err, &oe) {
+		return 1
+	}
+	secs := int((oe.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// tokenBucket admits fresh submissions at a sustained rate with a bounded
+// burst. It is called under the service mutex; time comes through an
+// injectable clock so tests are deterministic.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket returns a full bucket. rate must be positive; burst <= 0
+// defaults to max(1, ceil(2*rate)) — enough headroom that a client at the
+// sustained rate never sees a spurious rejection.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now(), now: now}
+}
+
+// take consumes one token if available. Otherwise it reports how long
+// until the bucket refills one.
+func (b *tokenBucket) take() (bool, time.Duration) {
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,52 +1,88 @@
 package service
 
-import "container/list"
-
-// resultCache is a content-addressed LRU of finished results keyed on
-// (spec hash, seed). All methods are called under the service mutex.
-type resultCache struct {
-	max   int
-	order *list.List // front = most recently used
-	byKey map[string]*list.Element
-}
+import "abenet/internal/store"
 
 // cacheEntry is one cached result plus its hit counter (how many
-// submissions it has served).
+// submissions it has served). The counter lives in the memory tier only:
+// it counts serves by *this* process, and restarts start it over.
 type cacheEntry struct {
-	key    string
 	result *Result
 	hits   int
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, order: list.New(), byKey: map[string]*list.Element{}}
+// tieredCache is the two-tier read path over finished results: a bounded
+// in-memory LRU in front of an optional persistent store, both keyed on
+// (ExecutionHash, seed). Reads check memory first, then the persistent
+// tier, promoting persistent hits into memory; writes go to both. All
+// methods are called under the service mutex, which also makes the
+// per-tier hit counters consistent snapshots.
+type tieredCache struct {
+	mem     *store.Memory[*cacheEntry]
+	persist store.Store[*Result] // nil = memory-only serving
+
+	memHits     int // submissions served from the memory tier
+	persistHits int // submissions served from the persistent tier
+	persistErrs int // failed persistent writes (results still served from memory)
 }
 
-// get returns the entry for key (marking it most recently used), or nil.
-func (c *resultCache) get(key string) *cacheEntry {
-	el, ok := c.byKey[key]
+func newTieredCache(maxMem int, persist store.Store[*Result]) *tieredCache {
+	return &tieredCache{mem: store.NewMemory[*cacheEntry](maxMem), persist: persist}
+}
+
+// get returns the entry for key, or nil. A memory hit bumps the entry's
+// LRU position; a persistent hit promotes the result into the memory tier
+// (with a fresh per-entry hit counter). The caller increments ent.hits —
+// get only tracks which tier served.
+func (c *tieredCache) get(key string) *cacheEntry {
+	if ent, ok := c.mem.Get(key); ok {
+		c.memHits++
+		return ent
+	}
+	if c.persist == nil {
+		return nil
+	}
+	res, ok := c.persist.Get(key)
 	if !ok {
 		return nil
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry)
+	c.persistHits++
+	ent := &cacheEntry{result: res}
+	_ = c.mem.Put(key, ent) // promote: the next hit is a memory hit
+	return ent
 }
 
-// put inserts (or refreshes) a result, evicting the least recently used
-// entries beyond the capacity.
-func (c *resultCache) put(key string, res *Result) {
-	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).result = res
-		c.order.MoveToFront(el)
-		return
+// put stores a finished result in both tiers. Refreshing an existing
+// memory entry keeps its hit counter. A persistent-tier write failure is
+// counted, not fatal: the result still serves from memory, and the disk
+// slot heals on the next computation of the same key.
+func (c *tieredCache) put(key string, res *Result) {
+	if ent, ok := c.mem.Get(key); ok {
+		ent.result = res
+	} else {
+		_ = c.mem.Put(key, &cacheEntry{result: res})
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, result: res})
-	for c.order.Len() > c.max {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.byKey, back.Value.(*cacheEntry).key)
+	if c.persist != nil {
+		if err := c.persist.Put(key, res); err != nil {
+			c.persistErrs++
+		}
 	}
 }
 
-// len returns the entry count.
-func (c *resultCache) len() int { return c.order.Len() }
+// len returns the memory-tier entry count.
+func (c *tieredCache) len() int { return c.mem.Len() }
+
+// persistLen returns the persistent-tier entry count (0 when disabled).
+func (c *tieredCache) persistLen() int {
+	if c.persist == nil {
+		return 0
+	}
+	return c.persist.Len()
+}
+
+// close releases both tiers.
+func (c *tieredCache) close() {
+	_ = c.mem.Close()
+	if c.persist != nil {
+		_ = c.persist.Close()
+	}
+}

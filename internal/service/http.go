@@ -2,10 +2,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"abenet/internal/runner"
 	"abenet/internal/spec"
@@ -27,6 +29,18 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// HandlerOptions tunes the HTTP layer.
+type HandlerOptions struct {
+	// MaxBodyBytes caps POST /v1/runs request bodies; beyond it the
+	// request fails with 413 instead of buffering an unbounded body into
+	// memory. 0 means 1 MiB — generous for any real scenario spec.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes is the POST body cap when HandlerOptions leaves
+// MaxBodyBytes at 0.
+const DefaultMaxBodyBytes = 1 << 20
+
 // NewHandler returns the service's HTTP API:
 //
 //	POST /v1/runs          submit a scenario ({"spec": ..., "seed", "wait"})
@@ -34,13 +48,24 @@ type errorBody struct {
 //	DELETE /v1/runs/{id}   cancel a job
 //	GET  /v1/protocols     registry metadata (names, options, capabilities)
 //	GET  /healthz          liveness + service counters
-func NewHandler(svc *Service) http.Handler {
+func NewHandler(svc *Service, hopts HandlerOptions) http.Handler {
+	maxBody := hopts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
 		var req RunRequest
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
 			return
 		}
@@ -71,8 +96,17 @@ func NewHandler(svc *Service) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", strconv.Itoa(RetryAfter(err)))
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
 		case errors.Is(err, ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The wait ended (client gone, server deadline) before the job:
+			// report the still-in-flight snapshot as accepted-not-finished.
+			writeJSON(w, http.StatusAccepted, view)
 			return
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)
@@ -96,7 +130,7 @@ func NewHandler(svc *Service) http.Handler {
 		case errors.Is(err, ErrNotFound):
 			writeError(w, http.StatusNotFound, err)
 			return
-		case errors.Is(err, ErrFinished):
+		case errors.Is(err, ErrFinished), errors.Is(err, ErrShared):
 			writeError(w, http.StatusConflict, err)
 			return
 		}

@@ -41,7 +41,7 @@ func postRun(t *testing.T, ts *httptest.Server, body any, wantCode int) View {
 func TestHTTPEndToEnd(t *testing.T) {
 	svc := New(Options{Workers: 2})
 	defer svc.Close()
-	ts := httptest.NewServer(NewHandler(svc))
+	ts := httptest.NewServer(NewHandler(svc, HandlerOptions{}))
 	defer ts.Close()
 
 	raw, err := os.ReadFile(filepath.Join(fixtureDir, "election_ring.json"))
@@ -103,7 +103,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 func TestHTTPErrorsAndMetadata(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
-	ts := httptest.NewServer(NewHandler(svc))
+	ts := httptest.NewServer(NewHandler(svc, HandlerOptions{}))
 	defer ts.Close()
 
 	// Unknown job.
@@ -195,6 +195,124 @@ func TestHTTPErrorsAndMetadata(t *testing.T) {
 	resp5.Body.Close()
 	if resp5.StatusCode != http.StatusConflict {
 		t.Fatalf("DELETE finished job = %d, want 409", resp5.StatusCode)
+	}
+}
+
+// TestHTTPBodyLimit: POST bodies beyond the cap are refused with 413 and
+// the standard error shape — a multi-GB POST must not OOM the server.
+func TestHTTPBodyLimit(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc, HandlerOptions{MaxBodyBytes: 2048}))
+	defer ts.Close()
+
+	// Oversized but syntactically plausible: the decoder has to keep
+	// reading the giant string, and the byte limit trips first.
+	big := append(append([]byte(`{"spec": "`), bytes.Repeat([]byte("x"), 4096)...), `"}`...)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d, want 413", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("413 error body missing: %v %q", err, e.Error)
+	}
+
+	// A normal-sized spec still goes through the same handler.
+	raw, err := os.ReadFile(filepath.Join(fixtureDir, "election_ring.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw), "wait": true}, http.StatusOK)
+	if v.Status != StatusDone {
+		t.Fatalf("in-limit POST ended %s (%s)", v.Status, v.Error)
+	}
+}
+
+// TestHTTPCancelSharedJobConflicts: DELETE on a job other submissions are
+// riding returns 409, and both submissions still get the result.
+func TestHTTPCancelSharedJobConflicts(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc, HandlerOptions{}))
+	defer ts.Close()
+
+	blocker, err := svc.Submit(loadFixture(t, "election_ring.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	raw, err := os.ReadFile(filepath.Join(fixtureDir, "chang_roberts_pareto.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw)}, http.StatusAccepted)
+	rider := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw)}, http.StatusAccepted)
+	if rider.ID != first.ID || rider.Deduplicated != 1 {
+		t.Fatalf("second POST did not coalesce: %+v", rider)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/runs/%s", ts.URL, first.ID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE shared job = %d, want 409", resp.StatusCode)
+	}
+
+	close(release)
+	await(t, svc, blocker.ID)
+	if v := await(t, svc, first.ID); v.Status != StatusDone {
+		t.Fatalf("shared job ended %s after refused cancel, want done", v.Status)
+	}
+}
+
+// TestHTTPOverloadRetryAfter: admission-control rejections surface as 503
+// with a Retry-After hint.
+func TestHTTPOverloadRetryAfter(t *testing.T) {
+	svc := New(Options{Workers: 1, SubmitRate: 0.5, SubmitBurst: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc, HandlerOptions{}))
+	defer ts.Close()
+
+	raw, err := os.ReadFile(filepath.Join(fixtureDir, "election_ring.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct seeds are distinct fresh jobs: the single token admits one.
+	postRun(t, ts, map[string]any{"spec": json.RawMessage(raw), "seed": 1, "wait": true}, http.StatusOK)
+	payload, _ := json.Marshal(map[string]any{"spec": json.RawMessage(raw), "seed": 2})
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-rate POST = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want a positive hint", ra)
+	}
+	// The already-computed seed keeps serving from cache meanwhile.
+	v := postRun(t, ts, map[string]any{"spec": json.RawMessage(raw), "seed": 1, "wait": true}, http.StatusOK)
+	if v.CacheHits != 1 {
+		t.Fatalf("cache hit under overload: %d hits, want 1", v.CacheHits)
 	}
 }
 

@@ -1,8 +1,10 @@
 // Package service is the experiment job service behind cmd/abe-serve: a
 // bounded worker pool running scenario specs (single runs and sweeps), a
-// content-addressed in-memory result cache keyed on (spec hash, seed) with
-// singleflight-style de-duplication of identical in-flight jobs, and a
-// submit/status/result/cancel job lifecycle.
+// two-tier content-addressed result cache keyed on (spec hash, seed) — an
+// in-memory LRU in front of an optional persistent store (internal/store),
+// with per-tier hit counters — singleflight-style de-duplication of
+// identical in-flight jobs, token-bucket admission control under overload,
+// and a submit/status/result/cancel job lifecycle.
 //
 // Caching is sound because runs are pure functions of (scenario, seed): the
 // spec hash identifies the scenario (internal/spec pins the canonical
@@ -18,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"abenet/internal/runner"
 	"abenet/internal/spec"
+	"abenet/internal/store"
 )
 
 // The lifecycle errors.
@@ -31,6 +35,9 @@ var (
 	ErrQueueFull = errors.New("service: job queue is full")
 	// ErrFinished: the job already finished; it cannot be cancelled.
 	ErrFinished = errors.New("service: job already finished")
+	// ErrShared: other submissions were deduplicated onto the job, so one
+	// client cancelling would discard a result every rider is waiting on.
+	ErrShared = errors.New("service: job is shared by other submissions; cancel refused")
 	// ErrClosed: the service is shutting down.
 	ErrClosed = errors.New("service: closed")
 )
@@ -65,10 +72,30 @@ type Options struct {
 	// SweepWorkers caps each sweep job's internal parallelism; 0 leaves
 	// the spec's own setting (or GOMAXPROCS) in charge.
 	SweepWorkers int
+	// Persist, when non-nil, is the second cache tier: finished cacheable
+	// results are written through to it and served back from it after the
+	// memory tier evicts them — or after a process restart, when it is a
+	// durable store (store.OpenDisk). The service owns it from New on and
+	// closes it in Close.
+	Persist store.Store[*Result]
+	// SubmitRate, when positive, admission-controls *fresh* submissions
+	// (jobs that will actually simulate) to this sustained rate per
+	// second. Beyond the burst, Submit fails with ErrOverloaded and a
+	// retry hint instead of letting the queue starve every client at
+	// once. Cache hits and deduplicated submissions are never charged:
+	// they cost no simulation, and serving them under overload is the
+	// point of the cache. 0 disables admission control.
+	SubmitRate float64
+	// SubmitBurst is the admission token-bucket depth; 0 means
+	// max(1, ceil(2×SubmitRate)).
+	SubmitBurst int
 	// BeforeJob, when non-nil, runs in the worker goroutine before each
 	// job executes. It exists so tests can hold workers deterministically;
 	// production code leaves it nil.
 	BeforeJob func()
+
+	// now overrides the admission clock; tests only.
+	now func() time.Time
 }
 
 // Result is one finished job's payload: a single run's report + flattened
@@ -158,7 +185,8 @@ type Service struct {
 	jobs     map[string]*job
 	inflight map[string]*job // cache key → queued/running job (singleflight)
 	history  []string        // finished job ids, oldest first (FIFO retirement)
-	cache    *resultCache
+	cache    *tieredCache
+	bucket   *tokenBucket // nil = no admission control
 }
 
 // retireLocked records a job as finished and evicts the oldest finished
@@ -191,7 +219,10 @@ func New(opts Options) *Service {
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
 		inflight: map[string]*job{},
-		cache:    newResultCache(opts.CacheEntries),
+		cache:    newTieredCache(opts.CacheEntries, opts.Persist),
+	}
+	if opts.SubmitRate > 0 {
+		s.bucket = newTokenBucket(opts.SubmitRate, opts.SubmitBurst, opts.now)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -215,19 +246,15 @@ func (s *Service) Submit(sp *spec.Spec, seedOverride *uint64) (View, error) {
 // SubmitAndWait submits and blocks until the job finishes (or ctx ends),
 // then snapshots it. The snapshot comes from the job handle submit
 // returned — never a second id lookup — so history retirement while the
-// caller waits cannot turn a finished run into not-found.
+// caller waits cannot turn a finished run into not-found. When ctx ends
+// first the snapshot is still returned — alongside ctx.Err(), so callers
+// can tell "finished" from "gave up waiting on a still-running job".
 func (s *Service) SubmitAndWait(ctx context.Context, sp *spec.Spec, seedOverride *uint64) (View, error) {
 	view, j, err := s.submit(sp, seedOverride)
 	if err != nil {
 		return view, err
 	}
-	select {
-	case <-j.done:
-	case <-ctx.Done():
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return j.view(), nil
+	return s.awaitJob(ctx, j)
 }
 
 // submit is the shared submission path, returning the job handle alongside
@@ -278,7 +305,24 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 			return running.view(), running, nil
 		}
 	}
-	j := s.newJobLocked(&run, hash, key)
+	// Only submissions that will actually simulate reach admission
+	// control: cache hits and dedup riders above cost nothing, and
+	// serving them under overload is the point of the cache.
+	if s.bucket != nil {
+		if ok, wait := s.bucket.take(); !ok {
+			return View{}, nil, &overloadError{retryAfter: wait}
+		}
+	}
+	// Deep-copy before enqueueing: `run` shares nested pointers (sweep
+	// block, fault plan, scripted events, protocol options) with the
+	// caller's spec, and the worker must run the scenario as submitted,
+	// not as later mutated. The canonical codec round trip is the one
+	// copy that provably covers every field the hash covers.
+	enq, err := run.Clone()
+	if err != nil {
+		return View{}, nil, err
+	}
+	j := s.newJobLocked(enq, hash, key)
 	j.cacheable = info.Deterministic
 	select {
 	case s.queue <- j:
@@ -321,7 +365,9 @@ func (s *Service) Get(id string) (View, error) {
 // ends, then snapshots it either way. The snapshot comes from the held job
 // pointer, not a second id lookup: history retirement may evict the job
 // from the index while a long waiter sleeps, and a run that finished must
-// never be reported as not-found to the client that submitted it.
+// never be reported as not-found to the client that submitted it. When
+// ctx ends before the job, the (non-terminal) snapshot is returned with
+// ctx.Err() — a nil error always means the snapshot is final.
 func (s *Service) Wait(ctx context.Context, id string) (View, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -329,24 +375,44 @@ func (s *Service) Wait(ctx context.Context, id string) (View, error) {
 	if !ok {
 		return View{}, ErrNotFound
 	}
+	return s.awaitJob(ctx, j)
+}
+
+// awaitJob blocks on the job handle and snapshots it, pairing the snapshot
+// with ctx.Err() when the context — not the job — ended the wait. A job
+// that finished in the same instant counts as finished: the caller asked
+// for the result and it exists.
+func (s *Service) awaitJob(ctx context.Context, j *job) (View, error) {
+	var werr error
 	select {
 	case <-j.done:
 	case <-ctx.Done():
+		select {
+		case <-j.done: // finished while ctx raced: deliver the result
+		default:
+			werr = ctx.Err()
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return j.view(), nil
+	return j.view(), werr
 }
 
 // Cancel stops a job: a queued job is cancelled immediately; a running
 // job's result is discarded when its execution returns (the simulation
-// itself is not preemptible). Finished jobs return ErrFinished.
+// itself is not preemptible). Finished jobs return ErrFinished. A job
+// that other submissions were deduplicated onto returns ErrShared: the
+// coalesced submitters are waiting on this one run, and one client's
+// cancel must not discard everyone else's result.
 func (s *Service) Cancel(id string) (View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
 		return View{}, ErrNotFound
+	}
+	if j.dedups > 0 && (j.status == StatusQueued || j.status == StatusRunning) {
+		return j.view(), ErrShared
 	}
 	switch j.status {
 	case StatusQueued:
@@ -369,7 +435,10 @@ func (s *Service) Cancel(id string) (View, error) {
 	return j.view(), nil
 }
 
-// Stats summarises the service for health endpoints.
+// Stats summarises the service for health endpoints. The cache counters
+// are split per tier: CacheEntries/MemoryHits describe the in-memory LRU,
+// StoreEntries/StoreHits the persistent tier (zero when -store is off).
+// A hit on either tier means no simulation ran for that submission.
 type Stats struct {
 	Workers      int `json:"workers"`
 	QueueDepth   int `json:"queue_depth"`
@@ -377,6 +446,10 @@ type Stats struct {
 	Queued       int `json:"queued"`
 	Running      int `json:"running"`
 	CacheEntries int `json:"cache_entries"`
+	MemoryHits   int `json:"memory_hits"`
+	StoreEntries int `json:"store_entries"`
+	StoreHits    int `json:"store_hits"`
+	StoreErrors  int `json:"store_errors"`
 }
 
 // Stats snapshots the service counters.
@@ -388,6 +461,10 @@ func (s *Service) Stats() Stats {
 		QueueDepth:   s.opts.QueueDepth,
 		Jobs:         len(s.jobs),
 		CacheEntries: s.cache.len(),
+		MemoryHits:   s.cache.memHits,
+		StoreEntries: s.cache.persistLen(),
+		StoreHits:    s.cache.persistHits,
+		StoreErrors:  s.cache.persistErrs,
 	}
 	for _, j := range s.jobs {
 		switch j.status {
@@ -400,7 +477,9 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close stops accepting submissions and waits for in-flight jobs to drain.
+// Close stops accepting submissions, waits for in-flight jobs to drain,
+// and closes the cache tiers (including the persistent store, whose
+// completed writes are already durable).
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -411,6 +490,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	s.cache.close()
 }
 
 // worker drains the queue.

@@ -158,8 +158,71 @@ func TestSingleflightDedupCancelAndQueueFull(t *testing.T) {
 		t.Fatalf("submit into a full queue: %v, want ErrQueueFull", err)
 	}
 
-	// Cancel the queued J2: immediate, and the key is free again — a new
-	// submission of the same scenario must NOT attach to the cancelled job.
+	// J2 has a rider: cancellation is refused, the job stays queued.
+	if _, err := svc.Cancel(j2.ID); !errors.Is(err, ErrShared) {
+		t.Fatalf("cancel of shared job: %v, want ErrShared", err)
+	}
+	got, err := svc.Get(j2.ID)
+	if err != nil || got.Status != StatusQueued {
+		t.Fatalf("shared job after refused cancel is %s (%v), want queued", got.Status, err)
+	}
+
+	// Release the worker; J1 completes, then the shared J2 runs for both
+	// its submitters.
+	close(release)
+	if v := await(t, svc, j1.ID); v.Status != StatusDone {
+		t.Fatalf("J1 ended %s (%s)", v.Status, v.Error)
+	}
+	if v := await(t, svc, j2.ID); v.Status != StatusDone {
+		t.Fatalf("J2 ended %s, want done", v.Status)
+	}
+
+	// Resubmitting the completed scenario is a cache hit, not a rerun.
+	j5, err := svc.Submit(spB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j5.CacheHits != 1 {
+		t.Fatalf("resubmission of finished scenario: %d hits, want 1", j5.CacheHits)
+	}
+
+	// Cancelling a finished job is refused.
+	if _, err := svc.Cancel(j2.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("cancel of finished job: %v, want ErrFinished", err)
+	}
+	// Unknown ids are refused.
+	if _, err := svc.Get("run-999999-nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get of unknown job: %v, want ErrNotFound", err)
+	}
+}
+
+// TestCancelQueuedJob: cancelling a queued job with no riders is
+// immediate, the worker skips it, and the scenario key is free again — a
+// resubmission starts a fresh job instead of attaching to the corpse.
+func TestCancelQueuedJob(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+
+	j1, err := svc.Submit(loadFixture(t, "election_ring.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	spB := loadFixture(t, "chang_roberts_pareto.json")
+	j2, err := svc.Submit(spB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := svc.Cancel(j2.ID); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +231,6 @@ func TestSingleflightDedupCancelAndQueueFull(t *testing.T) {
 		t.Fatalf("cancelled job is %s (%v)", got.Status, err)
 	}
 
-	// Release the worker; J1 completes, the cancelled J2 is skipped.
 	close(release)
 	if v := await(t, svc, j1.ID); v.Status != StatusDone {
 		t.Fatalf("J1 ended %s (%s)", v.Status, v.Error)
@@ -177,25 +239,19 @@ func TestSingleflightDedupCancelAndQueueFull(t *testing.T) {
 		t.Fatalf("J2 ended %s, want cancelled", v.Status)
 	}
 
-	// Resubmitting the cancelled scenario starts a fresh job that runs.
-	j5, err := svc.Submit(spB, nil)
+	// The key is free: a fresh submission runs (no cache entry, new id).
+	j3, err := svc.Submit(spB, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j5.ID == j2.ID {
+	if j3.ID == j2.ID {
 		t.Fatal("resubmission attached to the cancelled job")
 	}
-	if v := await(t, svc, j5.ID); v.Status != StatusDone {
+	if j3.CacheHits != 0 {
+		t.Fatal("cancelled scenario served from cache")
+	}
+	if v := await(t, svc, j3.ID); v.Status != StatusDone {
 		t.Fatalf("resubmitted job ended %s (%s)", v.Status, v.Error)
-	}
-
-	// Cancelling a finished job is refused.
-	if _, err := svc.Cancel(j5.ID); !errors.Is(err, ErrFinished) {
-		t.Fatalf("cancel of finished job: %v, want ErrFinished", err)
-	}
-	// Unknown ids are refused.
-	if _, err := svc.Get("run-999999-nope"); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("get of unknown job: %v, want ErrNotFound", err)
 	}
 }
 
@@ -360,9 +416,206 @@ func TestJobHistoryBound(t *testing.T) {
 	}
 }
 
-// TestCacheEviction: the LRU bound holds.
+// TestCancelRefusedOnDeduplicatedJob: submit → dedup → cancel must be
+// refused (ErrShared), and both waiters must get the computed result — one
+// client's DELETE cannot discard a run other submitters are riding.
+func TestCancelRefusedOnDeduplicatedJob(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+
+	// A blocker occupies the single worker so the shared job stays queued.
+	blocker, err := svc.Submit(loadFixture(t, "election_ring.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	sp := loadFixture(t, "chang_roberts_pareto.json")
+	first, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rider, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rider.ID != first.ID || rider.Deduplicated != 1 {
+		t.Fatalf("second submission did not coalesce: %+v", rider)
+	}
+
+	// Two waiters ride the shared job.
+	type waited struct {
+		v   View
+		err error
+	}
+	results := make(chan waited, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			v, err := svc.Wait(ctx, first.ID)
+			results <- waited{v, err}
+		}()
+	}
+
+	// The cancel is refused while riders are attached.
+	if _, err := svc.Cancel(first.ID); !errors.Is(err, ErrShared) {
+		t.Fatalf("cancel of deduplicated job: %v, want ErrShared", err)
+	}
+	got, err := svc.Get(first.ID)
+	if err != nil || got.Status != StatusQueued {
+		t.Fatalf("shared job after refused cancel: %s (%v), want queued", got.Status, err)
+	}
+
+	// Release the worker: the blocker and then the shared job complete,
+	// and both waiters observe the result.
+	close(release)
+	await(t, svc, blocker.ID)
+	for i := 0; i < 2; i++ {
+		w := <-results
+		if w.err != nil {
+			t.Fatalf("waiter %d: %v", i, w.err)
+		}
+		if w.v.Status != StatusDone || w.v.Result == nil {
+			t.Fatalf("waiter %d got %s (result %v), want done with a result", i, w.v.Status, w.v.Result != nil)
+		}
+	}
+}
+
+// TestWaitReturnsCtxErrOnSlowJob: when the caller's context ends before a
+// slow job, Wait and SubmitAndWait return the non-terminal snapshot
+// *alongside* ctx.Err() — a nil error always means the snapshot is final.
+func TestWaitReturnsCtxErrOnSlowJob(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+
+	slow, err := svc.Submit(loadFixture(t, "election_ring.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the job is held on the worker barrier
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	v, err := svc.Wait(ctx, slow.ID)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on a slow job: err = %v, want DeadlineExceeded", err)
+	}
+	if v.ID != slow.ID {
+		t.Fatalf("snapshot id = %s, want %s", v.ID, slow.ID)
+	}
+	if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCancelled {
+		t.Fatalf("snapshot is terminal (%s) despite ctx ending first", v.Status)
+	}
+
+	// SubmitAndWait: same contract on the submit-and-block path.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	v2, err := svc.SubmitAndWait(ctx2, loadFixture(t, "chang_roberts_pareto.json"), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitAndWait on a slow job: err = %v, want DeadlineExceeded", err)
+	}
+	if v2.Status != StatusQueued {
+		t.Fatalf("SubmitAndWait snapshot is %s, want queued", v2.Status)
+	}
+
+	// A cancelled context is reported as Canceled, not invented deadline.
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	cancel3()
+	if _, err := svc.Wait(ctx3, slow.ID); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait with cancelled ctx: %v, want Canceled", err)
+	}
+
+	// Once released, the same calls finish with nil errors.
+	close(release)
+	if v := await(t, svc, slow.ID); v.Status != StatusDone {
+		t.Fatalf("released job ended %s (%s)", v.Status, v.Error)
+	}
+	if v := await(t, svc, v2.ID); v.Status != StatusDone {
+		t.Fatalf("second job ended %s (%s)", v.Status, v.Error)
+	}
+}
+
+// TestMutateAfterSubmit: the worker must run the scenario as submitted.
+// Mutating the caller's spec — including pointer-nested state like the
+// fault plan and its scripted events — after Submit returns must not
+// change the job's execution (regression: submit used to shallow-copy).
+func TestMutateAfterSubmit(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	svc := New(Options{
+		Workers:    1,
+		QueueDepth: 4,
+		BeforeJob: func() {
+			entered <- struct{}{}
+			<-release
+		},
+	})
+	defer svc.Close()
+
+	blocker, err := svc.Submit(loadFixture(t, "election_ring.json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// Baseline: the pristine scenario, run directly.
+	pristine := loadFixture(t, "election_lossy_partition.json")
+	rep, err := pristine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(rep.Metrics())
+
+	// Submit, then vandalise every pointer-reachable corner of the spec
+	// while the job waits in the queue.
+	sp := loadFixture(t, "election_lossy_partition.json")
+	v, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Env.Faults.Loss = 0.99
+	sp.Env.Faults.Duplicate = 0.5
+	for i := range sp.Env.Faults.Events {
+		sp.Env.Faults.Events[i].At = 1e9
+	}
+	sp.Env.Faults.Events = sp.Env.Faults.Events[:0]
+	sp.Env.N = 2
+	sp.Env.Seed = 424242
+
+	close(release)
+	await(t, svc, blocker.ID)
+	final := await(t, svc, v.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", final.Status, final.Error)
+	}
+	got, _ := json.Marshal(final.Result.Metrics)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-submit mutation leaked into the run:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestCacheEviction: the memory-tier LRU bound holds.
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newTieredCache(2, nil)
 	r := &Result{}
 	c.put("a", r)
 	c.put("b", r)
@@ -378,5 +631,73 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("cache len %d, want 2", c.len())
+	}
+	if c.persistLen() != 0 {
+		t.Fatal("memory-only cache reports persistent entries")
+	}
+}
+
+// TestCacheHitCounterAcrossPutRefresh: re-putting a finished result under
+// an existing key (a raced recomputation) refreshes the payload but keeps
+// the entry's hit counter — the counter counts serves, not payload writes.
+func TestCacheHitCounterAcrossPutRefresh(t *testing.T) {
+	c := newTieredCache(4, nil)
+	r1, r2 := &Result{}, &Result{}
+	c.put("k", r1)
+	ent := c.get("k")
+	if ent == nil {
+		t.Fatal("miss after put")
+	}
+	ent.hits = 3
+	c.put("k", r2) // refresh
+	ent2 := c.get("k")
+	if ent2 == nil {
+		t.Fatal("miss after refresh")
+	}
+	if ent2.hits != 3 {
+		t.Fatalf("hit counter after refresh = %d, want 3", ent2.hits)
+	}
+	if ent2.result != r2 {
+		t.Fatal("refresh did not replace the payload")
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache len after refresh = %d, want 1", c.len())
+	}
+}
+
+// TestStatsCacheEntriesAfterEviction: Stats.CacheEntries reflects the
+// post-eviction memory-tier population, not the number of puts.
+func TestStatsCacheEntriesAfterEviction(t *testing.T) {
+	svc := New(Options{Workers: 1, CacheEntries: 2})
+	defer svc.Close()
+
+	names := []string{"election_ring.json", "chang_roberts_pareto.json", "peterson_bimodal.json"}
+	for _, name := range names {
+		v, err := svc.Submit(loadFixture(t, name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := await(t, svc, v.ID); got.Status != StatusDone {
+			t.Fatalf("%s ended %s (%s)", name, got.Status, got.Error)
+		}
+	}
+	if got := svc.Stats().CacheEntries; got != 2 {
+		t.Fatalf("Stats.CacheEntries after eviction = %d, want 2", got)
+	}
+	// The evicted (oldest) scenario recomputes; the retained ones hit.
+	v, err := svc.Submit(loadFixture(t, names[0]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheHits != 0 {
+		t.Fatal("evicted scenario served from cache")
+	}
+	await(t, svc, v.ID)
+	v2, err := svc.Submit(loadFixture(t, names[2]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.CacheHits != 1 {
+		t.Fatalf("retained scenario cache hits = %d, want 1", v2.CacheHits)
 	}
 }

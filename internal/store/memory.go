@@ -1,0 +1,79 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is a bounded in-memory LRU store: Put beyond the capacity evicts
+// the least recently used entry, and Get marks its entry most recently
+// used. It is the serving layer's first cache tier.
+type Memory[V any] struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+// memEntry is one LRU slot.
+type memEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewMemory returns an LRU store bounded to max entries (min 1).
+func NewMemory[V any](max int) *Memory[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Memory[V]{max: max, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (m *Memory[V]) Get(key string) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memEntry[V]).val, true
+}
+
+// Put stores v under key. An existing key is refreshed in place (and marked
+// most recently used); a new key beyond the capacity evicts from the LRU
+// tail. Put never fails.
+func (m *Memory[V]) Put(key string, v V) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		el.Value.(*memEntry[V]).val = v
+		m.order.MoveToFront(el)
+		return nil
+	}
+	m.byKey[key] = m.order.PushFront(&memEntry[V]{key: key, val: v})
+	for m.order.Len() > m.max {
+		back := m.order.Back()
+		m.order.Remove(back)
+		delete(m.byKey, back.Value.(*memEntry[V]).key)
+	}
+	return nil
+}
+
+// Len returns the entry count.
+func (m *Memory[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// Close empties the store.
+func (m *Memory[V]) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.order.Init()
+	m.byKey = map[string]*list.Element{}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package store is the pluggable, content-addressed result store behind
+// the serving layer (internal/service, cmd/abe-serve). Keys are the
+// service's "(ExecutionHash, seed)" identities; values are whatever the
+// caller wants to remember under them. Caching whole results under such a
+// key is sound because ABE runs are pure functions of (environment, seed)
+// under bounded expected delay (Bakhshi et al., PODC 2010): a stored byte
+// is exactly the byte a fresh computation would produce, however old it is.
+//
+// Two implementations ship today: Memory, a bounded LRU (the serving
+// layer's first tier), and Disk, a sharded one-JSON-file-per-key directory
+// with atomic writes (the persistent second tier). Both are safe for
+// concurrent use.
+package store
+
+// Store is a keyed result store. Implementations are safe for concurrent
+// use by multiple goroutines.
+type Store[V any] interface {
+	// Get returns the value stored under key, if any.
+	Get(key string) (V, bool)
+	// Put stores v under key, replacing any previous value.
+	Put(key string, v V) error
+	// Len returns the number of stored entries.
+	Len() int
+	// Close releases the store's resources. The store must not be used
+	// afterwards.
+	Close() error
+}

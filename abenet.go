@@ -61,6 +61,7 @@ import (
 	"fmt"
 	"math"
 
+	"abenet/internal/byzantine"
 	"abenet/internal/channel"
 	"abenet/internal/check"
 	"abenet/internal/clock"
@@ -102,6 +103,9 @@ type (
 	ClockSyncExtra = runner.ClockSyncExtra
 	// LiveExtra is LiveElection's Extra payload.
 	LiveExtra = runner.LiveExtra
+	// ConsensusExtra is BenOr's Extra payload: the agreement, validity and
+	// termination verdicts over the honest nodes plus the decision trace.
+	ConsensusExtra = runner.ConsensusExtra
 )
 
 // The protocol option structs. Zero values select balanced defaults, so
@@ -130,6 +134,10 @@ type (
 	ClockSync = runner.ClockSync
 	// LiveElection runs the election on real goroutines and channels.
 	LiveElection = runner.LiveElection
+	// BenOr is Ben-Or randomized binary consensus provisioned for f
+	// Byzantine nodes — the one protocol honouring Env.Byzantine and
+	// Env.LocalBroadcast.
+	BenOr = runner.BenOr
 )
 
 // Run executes protocol p on environment env — the single entry point
@@ -299,6 +307,39 @@ func LinkUpAt(t float64, from, to int) FaultEvent { return faults.LinkUpAt(t, fr
 func PartitionDuring(start, end float64, group ...int) []FaultEvent {
 	return faults.PartitionDuring(start, end, group...)
 }
+
+// ---- Byzantine adversaries & local broadcast ----
+
+// ByzantinePlan assigns per-node adversarial roles for a run. Set it on
+// Env.Byzantine; a nil plan keeps every run byte-identical to an
+// adversary-free build. Honoured by BenOr; every other protocol rejects a
+// non-nil plan with a typed error.
+type ByzantinePlan = byzantine.Plan
+
+// ByzantineRole binds one behaviour to one node.
+type ByzantineRole = byzantine.Role
+
+// ByzantineBehavior selects a node's attack.
+type ByzantineBehavior = byzantine.Behavior
+
+// The adversarial behaviours. Equivocate tells every neighbour a different
+// value on point-to-point links; under Env.LocalBroadcast the radio medium
+// makes per-receiver divergence impossible and the attack degrades to a
+// consistent corruption.
+const (
+	Equivocate = byzantine.Equivocate
+	Mute       = byzantine.Mute
+	Corrupt    = byzantine.Corrupt
+	Stall      = byzantine.Stall
+)
+
+// ByzantineTelemetry is FaultTelemetry.Byzantine: what the adversaries
+// actually did to the run.
+type ByzantineTelemetry = byzantine.Telemetry
+
+// Equivocators returns a plan making nodes 0..k-1 equivocate on every
+// message — the canonical adversary for the local-broadcast separation.
+func Equivocators(k int) *ByzantinePlan { return byzantine.Equivocators(k) }
 
 // ImpairedLinks wraps any link factory with stochastic per-message
 // impairments — the channel-layer mechanism behind FaultPlan's loss,

@@ -8,7 +8,7 @@ import (
 	"abenet/internal/experiments"
 )
 
-// One benchmark per experiment (E1..E13, DESIGN.md §5 plus the PR 3 fault
+// One benchmark per experiment (E1..E14, DESIGN.md §5 plus the PR 3 fault
 // suite). Each iteration
 // executes the experiment in its reduced (Quick) configuration — the full
 // configurations are run by cmd/abe-bench, which regenerates the tables
@@ -89,6 +89,10 @@ func BenchmarkE12ProcessingDelay(b *testing.B) {
 
 func BenchmarkE13LossResilience(b *testing.B) {
 	benchExperiment(b, experiments.E13LossResilience)
+}
+
+func BenchmarkE14ByzantineBroadcast(b *testing.B) {
+	benchExperiment(b, experiments.E14ByzantineBroadcast)
 }
 
 // ---- Micro-benchmarks of the core building blocks ----

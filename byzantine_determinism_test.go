@@ -1,0 +1,157 @@
+package abenet_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"abenet"
+)
+
+// goldenByzantineEnv is the pinned (Env, Plan, seed) triple for the
+// adversary subsystem: Ben-Or at the f < n/3 edge on the local-broadcast
+// medium, with every adversarial behaviour class active at once — an
+// equivocator (which the medium degrades to consistent corruption), a
+// probabilistic corruptor, and a staller with a non-default hold-back
+// distribution.
+func goldenByzantineEnv() (abenet.Env, abenet.Protocol) {
+	plan := &abenet.ByzantinePlan{Roles: []abenet.ByzantineRole{
+		{Node: 0, Behavior: abenet.Equivocate},
+		{Node: 1, Behavior: abenet.Corrupt, Prob: 0.5},
+		{Node: 2, Behavior: abenet.Stall, StallDelay: abenet.Exponential(2)},
+	}}
+	env := abenet.Env{
+		Graph:          abenet.Complete(11),
+		Seed:           4242,
+		MaxRounds:      60,
+		Byzantine:      plan,
+		LocalBroadcast: true,
+	}
+	return env, abenet.BenOr{F: 3, Init: "half", Coin: "common"}
+}
+
+// TestGoldenByzantineRun pins the exact trajectory of the golden adversarial
+// consensus run: an adversarial run is a pure function of (Env, Plan, seed),
+// so these literals only change when the kernel, the RNG derivation tree,
+// the broadcast medium or the adversary semantics change — which must be
+// deliberate and explained in the same commit (the Byzantine analogue of
+// TestGoldenFaultRun).
+func TestGoldenByzantineRun(t *testing.T) {
+	env, proto := goldenByzantineEnv()
+	rep, err := abenet.Run(env, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == nil || rep.Faults.Byzantine == nil {
+		t.Fatal("no adversary telemetry")
+	}
+	extra, ok := rep.Extra.(abenet.ConsensusExtra)
+	if !ok {
+		t.Fatalf("Extra is %T, want ConsensusExtra", rep.Extra)
+	}
+	byz := rep.Faults.Byzantine
+	got := map[string]int{
+		"messages":       int(rep.Messages),
+		"transmissions":  int(rep.Transmissions),
+		"rounds":         rep.Rounds,
+		"violations":     len(rep.Violations),
+		"equivocations":  int(byz.Equivocations),
+		"corruptions":    int(byz.Corruptions),
+		"omissions":      int(byz.Omissions),
+		"stalls":         int(byz.Stalls),
+		"honest":         extra.Honest,
+		"decided":        extra.Decided,
+		"decision":       extra.Decision,
+		"decision_round": extra.DecisionRound,
+		"coin_flips":     extra.CoinFlips,
+		"ignored":        extra.Ignored,
+	}
+	want := map[string]int{
+		"messages":       165,
+		"transmissions":  163,
+		"rounds":         8,
+		"violations":     0,
+		"equivocations":  0,
+		"corruptions":    26,
+		"omissions":      0,
+		"stalls":         15,
+		"honest":         8,
+		"decided":        8,
+		"decision":       0,
+		"decision_round": 7,
+		"coin_flips":     40,
+		"ignored":        0,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden byzantine run drifted:\n got:  %v\n want: %v", got, want)
+	}
+	if !extra.Agreement || !extra.Validity || !extra.Termination {
+		t.Fatalf("safety/liveness verdicts = %v/%v/%v, want all true",
+			extra.Agreement, extra.Validity, extra.Termination)
+	}
+	// The radio medium defeated the equivocator: its substitutions are
+	// consistent, so they land in Corruptions and Equivocations stays zero.
+	if byz.Equivocations != 0 {
+		t.Errorf("equivocations = %d on the broadcast medium, want 0", byz.Equivocations)
+	}
+	// The virtual-time trajectory, bit-exact: the strongest indicator that
+	// the broadcast and stall RNG derivation trees are unchanged.
+	if ts := fmt.Sprintf("%.9g", rep.Time); ts != "18.3049633" {
+		t.Errorf("time = %s, want 18.3049633", ts)
+	}
+}
+
+// TestByzantineRunByteIdentical asserts byte-identical Reports (adversary
+// telemetry included) for the fixed triple across two sequential runs and a
+// concurrent pair — the latter exercising the determinism contract under the
+// race detector, where sweep workers share graphs and plans.
+func TestByzantineRunByteIdentical(t *testing.T) {
+	env, proto := goldenByzantineEnv()
+	runOnce := func() abenet.Report {
+		rep, err := abenet.Run(env, proto)
+		if err != nil {
+			t.Error(err)
+		}
+		return rep
+	}
+
+	// render flattens a report to bytes with both telemetry levels
+	// dereferenced (pointer fields would otherwise render as addresses), so
+	// "byte-identical" means every field including float bit patterns.
+	render := func(rep abenet.Report) string {
+		flat := rep
+		flat.Faults = nil
+		tel := *rep.Faults
+		byz := *tel.Byzantine
+		tel.Byzantine = nil
+		return fmt.Sprintf("%#v|%#v|%#v", flat, tel, byz)
+	}
+
+	first, second := runOnce(), runOnce()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("sequential runs diverged:\n a: %+v\n b: %+v", first, second)
+	}
+	if a, b := render(first), render(second); a != b {
+		t.Fatalf("rendered reports diverged:\n a: %s\n b: %s", a, b)
+	}
+
+	// Concurrent runs sharing the same Env and *Plan (as sweep workers do)
+	// must neither race nor diverge.
+	const workers = 4
+	reports := make([]abenet.Report, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = runOnce()
+		}(i)
+	}
+	wg.Wait()
+	for i, rep := range reports {
+		if !reflect.DeepEqual(rep, first) {
+			t.Fatalf("concurrent run %d diverged:\n got:  %+v\n want: %+v", i, rep, first)
+		}
+	}
+}

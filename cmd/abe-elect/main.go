@@ -66,6 +66,8 @@ func run() error {
 	loss := flag.Float64("loss", 0, "per-message loss probability in [0, 1) (fault injection)")
 	crashRate := flag.Float64("crash", 0, "per-node exponential crash rate (fault injection)")
 	recoverRate := flag.Float64("recover", 0, "crashed-node recovery rate (0 with -crash = crash-stop churn off)")
+	equivocate := flag.Int("equivocate", 0, "make nodes 0..k-1 Byzantine equivocators (honoured by ben-or)")
+	broadcast := flag.Bool("broadcast", false, "atomic local-broadcast medium instead of point-to-point links (honoured by ben-or)")
 	horizon := flag.Float64("horizon", 0, "virtual-time bound (0 = unbounded, or 1000·δ when faults are on)")
 	withTrace := flag.Bool("trace", false, "print the full message trace")
 	withCheck := flag.Bool("check", false, "also model-check the election exhaustively at this size (n <= 5)")
@@ -88,15 +90,15 @@ func run() error {
 
 	// The live runtime has no fault injection: naming both on one command
 	// line is a contradiction, not a request to ignore the fault flags.
-	if *liveMode && (set["loss"] || set["crash"] || set["recover"]) {
-		return fmt.Errorf("-live cannot be combined with -loss/-crash/-recover: the live goroutine runtime has no fault injection; drop -live to run the fault plan on the simulator")
+	if *liveMode && (set["loss"] || set["crash"] || set["recover"] || set["equivocate"] || set["broadcast"]) {
+		return fmt.Errorf("-live cannot be combined with -loss/-crash/-recover/-equivocate/-broadcast: the live goroutine runtime has no fault injection; drop -live to run the plan on the simulator")
 	}
 
 	if *specPath != "" {
 		// A spec file states the whole scenario; flags that would fight it
 		// are rejected rather than silently losing.
 		conflicting := []string{"proto", "topo", "n", "a0", "delay", "mean", "drift", "gamma",
-			"loss", "crash", "recover", "horizon", "live", "check"}
+			"loss", "crash", "recover", "equivocate", "broadcast", "horizon", "live", "check"}
 		var clash []string
 		for _, name := range conflicting {
 			if set[name] {
@@ -173,6 +175,10 @@ func run() error {
 	} else if *recoverRate > 0 {
 		return fmt.Errorf("-recover %g needs -crash to recover from", *recoverRate)
 	}
+	if *equivocate > 0 {
+		env.Byzantine = abenet.Equivocators(*equivocate)
+	}
+	env.LocalBroadcast = *broadcast
 	if *horizon > 0 {
 		env.Horizon = simtime.Time(*horizon)
 	} else if env.Faults != nil {
@@ -435,6 +441,13 @@ func printReport(rep abenet.Report, envLabel string, size int) {
 	if extra, ok := rep.Extra.(abenet.SyncExtra); ok {
 		fmt.Printf("messages per round  : %.1f\n", extra.MessagesPerRound)
 	}
+	consensus := false
+	if extra, ok := rep.Extra.(abenet.ConsensusExtra); ok {
+		consensus = true
+		fmt.Printf("consensus           : %d/%d honest decided %d (agreement %v, validity %v, termination %v)\n",
+			extra.Decided, extra.Honest, extra.Decision, extra.Agreement, extra.Validity, extra.Termination)
+		fmt.Printf("coin flips          : %d (decision round %d)\n", extra.CoinFlips, extra.DecisionRound)
+	}
 	if tel := rep.Faults; tel != nil {
 		fmt.Printf("faults injected     : %d (dropped %d, duplicated %d, delayed %d, dead letters %d, crashes %d)\n",
 			tel.TotalFaults(), tel.MessagesDropped+tel.LinkDrops, tel.MessagesDuplicated,
@@ -454,7 +467,11 @@ func printReport(rep abenet.Report, envLabel string, size int) {
 				fmt.Printf("  node %-3d down %.3f .. %s\n", iv.Node, iv.Start, end)
 			}
 		}
-		if !rep.Elected && rep.Leaders == 0 {
+		if byz := tel.Byzantine; byz != nil && byz.Total() > 0 {
+			fmt.Printf("adversary actions   : %d (equivocations %d, corruptions %d, omissions %d, stalls %d)\n",
+				byz.Total(), byz.Equivocations, byz.Corruptions, byz.Omissions, byz.Stalls)
+		}
+		if !rep.Elected && rep.Leaders == 0 && !consensus {
 			fmt.Printf("outcome             : no leader within the horizon (faults won this one)\n")
 		}
 	}

@@ -1,0 +1,96 @@
+package byzantine
+
+import (
+	"strings"
+	"testing"
+
+	"abenet/internal/dist"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    *Plan
+		n       int
+		wantErr string // "" = valid
+	}{
+		{"nil plan", nil, 4, ""},
+		{"empty plan", &Plan{}, 4, ""},
+		{"equivocators helper", Equivocators(2), 8, ""},
+		{"stall with delay", &Plan{Roles: []Role{{Node: 1, Behavior: Stall, StallDelay: dist.NewExponential(2)}}}, 4, ""},
+		{"explicit prob", &Plan{Roles: []Role{{Node: 0, Behavior: Mute, Prob: 0.5}}}, 4, ""},
+		{"node out of range", &Plan{Roles: []Role{{Node: 4, Behavior: Mute}}}, 4, "outside [0, 4)"},
+		{"negative node", &Plan{Roles: []Role{{Node: -1, Behavior: Mute}}}, 4, "outside"},
+		{"duplicate node", &Plan{Roles: []Role{{Node: 1, Behavior: Mute}, {Node: 1, Behavior: Corrupt}}}, 4, "two roles"},
+		{"zero behavior", &Plan{Roles: []Role{{Node: 0}}}, 4, "unknown behavior"},
+		{"bad prob", &Plan{Roles: []Role{{Node: 0, Behavior: Corrupt, Prob: 1.5}}}, 4, "outside [0, 1]"},
+		{"stall delay on mute", &Plan{Roles: []Role{{Node: 0, Behavior: Mute, StallDelay: dist.NewExponential(1)}}}, 4, "only meaningful for stall"},
+		{"zero-mean stall delay", &Plan{Roles: []Role{{Node: 0, Behavior: Stall, StallDelay: dist.NewDeterministic(0)}}}, 4, "must be positive"},
+		{"no honest node left", Equivocators(4), 4, "no honest node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.n)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanQueries(t *testing.T) {
+	p := Equivocators(3)
+	if p.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", p.Count())
+	}
+	if !p.IsAdversary(2) || p.IsAdversary(3) {
+		t.Fatalf("IsAdversary wrong: 2=%v 3=%v", p.IsAdversary(2), p.IsAdversary(3))
+	}
+	var nilPlan *Plan
+	if nilPlan.Count() != 0 || nilPlan.IsAdversary(0) {
+		t.Fatal("nil plan should report no adversaries")
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	want := map[Behavior]string{
+		Equivocate:  "equivocate",
+		Mute:        "mute",
+		Corrupt:     "corrupt",
+		Stall:       "stall",
+		Behavior(9): "behavior(9)",
+	}
+	for b, s := range want {
+		if b.String() != s {
+			t.Fatalf("Behavior(%d).String() = %q, want %q", int(b), b.String(), s)
+		}
+	}
+}
+
+func TestTelemetry(t *testing.T) {
+	tel := &Telemetry{Equivocations: 3, Corruptions: 2, Omissions: 1, Stalls: 4}
+	if tel.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tel.Total())
+	}
+	m := map[string]float64{}
+	tel.MetricsInto(m)
+	want := map[string]float64{
+		"byz_equivocations": 3, "byz_corruptions": 2, "byz_omissions": 1, "byz_stalls": 4,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("metric %s = %g, want %g", k, m[k], v)
+		}
+	}
+	var nilTel *Telemetry
+	if nilTel.Total() != 0 {
+		t.Fatal("nil telemetry Total should be 0")
+	}
+	nilTel.MetricsInto(m) // must not panic
+}

@@ -51,7 +51,7 @@ func TestSuiteCoversAllTwelve(t *testing.T) {
 	for _, exp := range All() {
 		ids[exp.ID] = true
 	}
-	for i := 1; i <= 12; i++ {
+	for i := 1; i <= 14; i++ {
 		id := "E" + itoa(i)
 		if !ids[id] {
 			t.Errorf("suite missing %s", id)

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"abenet/internal/byzantine"
 	"abenet/internal/dist"
 )
 
@@ -303,6 +304,10 @@ type Telemetry struct {
 	// CrashIntervals records each outage as [Start, End) in virtual time,
 	// in order of crash; End = -1 means still down at the end of the run.
 	CrashIntervals []CrashInterval
+	// Byzantine counts adversarial interventions when the run carried a
+	// byzantine.Plan (equivocations, corruptions, omissions, stalls); nil
+	// when no adversary subsystem was active.
+	Byzantine *byzantine.Telemetry
 }
 
 // TotalFaults returns the number of injected fault occurrences — a single
@@ -312,7 +317,7 @@ func (t *Telemetry) TotalFaults() uint64 {
 		return 0
 	}
 	return t.MessagesDropped + t.MessagesDuplicated + t.MessagesDelayed +
-		t.LinkDrops + t.DeadLetters + uint64(t.Crashes)
+		t.LinkDrops + t.DeadLetters + uint64(t.Crashes) + t.Byzantine.Total()
 }
 
 // MetricsInto contributes the telemetry's named measurements to a metric
@@ -326,4 +331,5 @@ func (t *Telemetry) MetricsInto(m map[string]float64) {
 	m["fault_delayed"] = float64(t.MessagesDelayed)
 	m["fault_dead_letters"] = float64(t.DeadLetters)
 	m["fault_crashes"] = float64(t.Crashes)
+	t.Byzantine.MetricsInto(m)
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"abenet/internal/byzantine"
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
@@ -79,6 +80,21 @@ type Config struct {
 	// and link outages (see internal/faults). Nil disables the subsystem
 	// entirely: the run is byte-identical to one without it.
 	Faults *faults.Plan
+	// Byzantine optionally assigns adversarial roles to nodes (see
+	// internal/byzantine): equivocation, omission, corruption and
+	// stalling, intercepted on the send path. Nil disables the subsystem
+	// entirely: the run is byte-identical to one without it.
+	Byzantine *byzantine.Plan
+	// LocalBroadcast switches the medium to Khan & Vaidya's local-
+	// broadcast model: protocols send via Context.Broadcast only (Send
+	// panics), and each broadcast is one atomic radio transmission
+	// delivered identically to every out-neighbour at one instant. When
+	// set, Links must be nil and BroadcastDelay states the medium delay.
+	LocalBroadcast bool
+	// BroadcastDelay is the per-transmission delay distribution of the
+	// local-broadcast medium. Nil means Exponential(1). Ignored unless
+	// LocalBroadcast is set.
+	BroadcastDelay dist.Dist
 }
 
 // Network is a runnable protocol deployment. Create one with New, then Run.
@@ -93,8 +109,10 @@ type Network struct {
 	nextFree []simtime.Time // per-node completion time of the busy server
 	metrics  Metrics
 	procMean float64
-	makeNode func(i int) Node // retained for fault-recovery restarts
-	life     *lifecycle       // nil unless cfg.Faults is set
+	makeNode func(i int) Node          // retained for fault-recovery restarts
+	life     *lifecycle                // nil unless cfg.Faults is set
+	adv      *adversary                // nil unless cfg.Byzantine is set
+	bcast    []*channel.LocalBroadcast // per-node radio links (LocalBroadcast mode)
 }
 
 // edgeAddress identifies the receiving side of a directed edge.
@@ -107,7 +125,17 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("network: config needs a graph")
 	}
-	if cfg.Links == nil {
+	if cfg.LocalBroadcast {
+		if cfg.Links != nil {
+			return nil, errors.New("network: LocalBroadcast replaces per-edge links; set BroadcastDelay, not Links")
+		}
+		if cfg.Faults.HasLinkFaults() {
+			return nil, errors.New("network: per-message link faults (Loss/Duplicate/Reorder) model point-to-point channels and do not compose with the local-broadcast medium")
+		}
+		if cfg.BroadcastDelay == nil {
+			cfg.BroadcastDelay = dist.NewExponential(1)
+		}
+	} else if cfg.Links == nil {
 		return nil, errors.New("network: config needs a link factory")
 	}
 	if makeNode == nil {
@@ -148,6 +176,13 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 			net.cfg.Links = cfg.Links
 		}
 	}
+	if cfg.Byzantine != nil {
+		adv, err := newAdversary(net, cfg.Byzantine, root)
+		if err != nil {
+			return nil, fmt.Errorf("network: %w", err)
+		}
+		net.adv = adv
+	}
 
 	for i := 0; i < n; i++ {
 		net.clocks[i] = cfg.Clocks.NewClock(root.DeriveIndexed("clock", i))
@@ -171,17 +206,36 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 		}
 	}
 
-	edgeIndex := 0
-	for u := 0; u < n; u++ {
-		for _, v := range cfg.Graph.Out(u) {
-			addr := edgeAddress{from: u, to: v, inPort: inPort[[2]int{u, v}]}
-			link := cfg.Links(net.kernel, root.DeriveIndexed("edge", edgeIndex), net.deliverFunc(addr))
-			if link == nil {
-				return nil, fmt.Errorf("network: link factory returned nil for edge %d->%d", u, v)
+	if cfg.LocalBroadcast {
+		// One radio link per sender; the delivery fan-out walks the
+		// sender's out-edges at the shared delivery instant. The stream
+		// label is distinct from "edge", so switching media re-seeds
+		// nothing else.
+		net.bcast = make([]*channel.LocalBroadcast, n)
+		for u := 0; u < n; u++ {
+			out := cfg.Graph.Out(u)
+			addrs := make([]edgeAddress, len(out))
+			for p, v := range out {
+				addrs[p] = edgeAddress{from: u, to: v, inPort: inPort[[2]int{u, v}]}
 			}
-			net.links[u] = append(net.links[u], link)
-			net.allLinks = append(net.allLinks, link)
-			edgeIndex++
+			lb := channel.NewLocalBroadcast(net.kernel, cfg.BroadcastDelay,
+				root.DeriveIndexed("bcast", u), net.fanoutFunc(u, addrs), len(out))
+			net.bcast[u] = lb
+			net.allLinks = append(net.allLinks, lb)
+		}
+	} else {
+		edgeIndex := 0
+		for u := 0; u < n; u++ {
+			for _, v := range cfg.Graph.Out(u) {
+				addr := edgeAddress{from: u, to: v, inPort: inPort[[2]int{u, v}]}
+				link := cfg.Links(net.kernel, root.DeriveIndexed("edge", edgeIndex), net.deliverFunc(addr))
+				if link == nil {
+					return nil, fmt.Errorf("network: link factory returned nil for edge %d->%d", u, v)
+				}
+				net.links[u] = append(net.links[u], link)
+				net.allLinks = append(net.allLinks, link)
+				edgeIndex++
+			}
 		}
 	}
 	if net.life != nil {
@@ -195,18 +249,40 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 // as dead letters), deterministically: the suppression depends only on the
 // node's fault schedule.
 func (net *Network) deliverFunc(addr edgeAddress) channel.DeliverFunc {
+	return func(payload any) { net.deliverTo(addr, payload) }
+}
+
+// deliverTo delivers one payload at the receiving end of a directed edge.
+func (net *Network) deliverTo(addr edgeAddress, payload any) {
+	if net.life != nil && net.life.down[addr.to] {
+		net.life.tel.DeadLetters++
+		return
+	}
+	net.metrics.MessagesDelivered++
+	if net.cfg.Tracer != nil {
+		net.cfg.Tracer.MessageDelivered(net.kernel.Now(), addr.from, addr.to, payload)
+	}
+	net.process(addr.to, deadLetterCounter, func() {
+		net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
+	})
+}
+
+// fanoutFunc returns the radio callback for sender u in local-broadcast
+// mode: one call per transmission, fanned out to every out-edge at the
+// shared delivery instant. Scripted link outages and partitions are radio
+// obstructions here — they are checked per receiving edge at the delivery
+// instant (a receiver behind a downed edge misses the transmission, counted
+// as a link drop), so a partition cuts a broadcast exactly as it cuts
+// point-to-point traffic.
+func (net *Network) fanoutFunc(u int, addrs []edgeAddress) channel.DeliverFunc {
 	return func(payload any) {
-		if net.life != nil && net.life.down[addr.to] {
-			net.life.tel.DeadLetters++
-			return
+		for p, addr := range addrs {
+			if net.life != nil && net.life.portDown(u, p) {
+				net.life.tel.LinkDrops++
+				continue
+			}
+			net.deliverTo(addr, payload)
 		}
-		net.metrics.MessagesDelivered++
-		if net.cfg.Tracer != nil {
-			net.cfg.Tracer.MessageDelivered(net.kernel.Now(), addr.from, addr.to, payload)
-		}
-		net.process(addr.to, deadLetterCounter, func() {
-			net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
-		})
 	}
 }
 
@@ -306,13 +382,20 @@ func (net *Network) MaxLinkMeanDelay() float64 {
 func (net *Network) ClockBounds() (low, high float64) { return net.cfg.Clocks.Bounds() }
 
 // FaultTelemetry returns a snapshot of the run's fault telemetry (what the
-// configured faults.Plan actually did), or nil when the network was built
-// without fault injection.
+// configured faults.Plan and byzantine.Plan actually did), or nil when the
+// network was built without either subsystem.
 func (net *Network) FaultTelemetry() *faults.Telemetry {
-	if net.life == nil {
+	if net.life == nil && net.adv == nil {
 		return nil
 	}
-	return net.life.telemetry()
+	tel := &faults.Telemetry{}
+	if net.life != nil {
+		tel = net.life.telemetry()
+	}
+	if net.adv != nil {
+		tel.Byzantine = net.adv.telemetry()
+	}
+	return tel
 }
 
 // NodeDown reports whether node i is currently crashed (always false
@@ -356,8 +439,16 @@ func (c *Context) InDegree() int { return len(c.net.cfg.Graph.In(c.id)) }
 
 // Send transmits payload on the given out-port. A send on a link taken
 // down by a scripted outage or partition counts as sent but is dropped at
-// the link boundary (messages already in flight still arrive).
+// the link boundary (messages already in flight still arrive). Under a
+// byzantine.Plan the sender's role intercepts the message here — a Mute
+// send still counts as sent (the protocol instance believes it sent), and
+// a Stall holds the message back before it reaches the link. On a
+// local-broadcast network Send panics: the radio medium has no addressable
+// point-to-point links; protocols use Broadcast.
 func (c *Context) Send(outPort int, payload any) {
+	if c.net.cfg.LocalBroadcast {
+		panic("network: point-to-point Send on a local-broadcast network (use Context.Broadcast)")
+	}
 	links := c.net.links[c.id]
 	if outPort < 0 || outPort >= len(links) {
 		panic(fmt.Sprintf("network: node has %d out-ports, sent on %d", len(links), outPort))
@@ -367,11 +458,62 @@ func (c *Context) Send(outPort int, payload any) {
 		to := c.net.cfg.Graph.Out(c.id)[outPort]
 		c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, to, payload)
 	}
+	if adv := c.net.adv; adv != nil {
+		out, drop, hold := adv.intercept(c.id, payload, false)
+		if drop {
+			return
+		}
+		payload = out
+		if hold > 0 {
+			c.net.kernel.AfterFunc(hold, func() { c.sendOnPort(outPort, payload) })
+			return
+		}
+	}
+	c.sendOnPort(outPort, payload)
+}
+
+// sendOnPort puts payload on the outPort link, honouring scripted link
+// outages at the (possibly stalled) transmission instant.
+func (c *Context) sendOnPort(outPort int, payload any) {
 	if life := c.net.life; life != nil && life.portDown(c.id, outPort) {
 		life.tel.LinkDrops++
 		return
 	}
-	links[outPort].Send(payload)
+	c.net.links[c.id][outPort].Send(payload)
+}
+
+// Broadcast sends payload to every out-neighbour — the medium-agnostic
+// send for broadcast protocols. On a point-to-point network it loops over
+// the out-ports: each copy samples its own link delay, and an Equivocate
+// role may substitute a *different* payload per receiver. On a
+// local-broadcast network it is one atomic radio transmission delivered
+// identically to every neighbour at one instant, so per-receiver
+// divergence is physically impossible (Khan & Vaidya's model). Tracers see
+// one MessageSent with to = -1 for a radio transmission.
+func (c *Context) Broadcast(payload any) {
+	if !c.net.cfg.LocalBroadcast {
+		for p := range c.net.links[c.id] {
+			c.Send(p, payload)
+		}
+		return
+	}
+	c.net.metrics.MessagesSent++
+	if c.net.cfg.Tracer != nil {
+		c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, -1, payload)
+	}
+	link := c.net.bcast[c.id]
+	if adv := c.net.adv; adv != nil {
+		out, drop, hold := adv.intercept(c.id, payload, true)
+		if drop {
+			return
+		}
+		payload = out
+		if hold > 0 {
+			c.net.kernel.AfterFunc(hold, func() { link.Send(payload) })
+			return
+		}
+	}
+	link.Send(payload)
 }
 
 // LocalTime returns the node's local clock reading.

@@ -46,6 +46,9 @@ func (p Election) Run(env Env) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
 	a0 := p.A0
 	if a0 == 0 {
 		tick := p.TickInterval
@@ -129,6 +132,9 @@ func (p ItaiRodehSync) Run(env Env) (Report, error) {
 	if err := env.rejectFaults(p.Name()); err != nil {
 		return Report{}, err
 	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
 	res, err := election.RunItaiRodehSyncConfig(election.ItaiRodehSyncConfig{
 		N:         env.graphlessN(),
 		Graph:     env.Graph,
@@ -159,6 +165,9 @@ func (ItaiRodehAsync) Name() string { return "itai-rodeh-async" }
 
 // Run implements Protocol.
 func (ItaiRodehAsync) Run(env Env) (Report, error) {
+	if err := env.rejectAdversary(ItaiRodehAsync{}.Name()); err != nil {
+		return Report{}, err
+	}
 	res, err := election.RunItaiRodehAsync(election.AsyncRingConfig{
 		N:          env.graphlessN(),
 		Graph:      env.Graph,
@@ -202,6 +211,9 @@ func (ChangRoberts) Name() string { return "chang-roberts" }
 
 // Run implements Protocol.
 func (p ChangRoberts) Run(env Env) (Report, error) {
+	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
 	res, err := election.RunChangRoberts(changRobertsConfig(env, p.Arrangement))
 	if err != nil {
 		return Report{}, err
@@ -226,6 +238,9 @@ func (p Peterson) Run(env Env) (Report, error) {
 	// on gaps; every fault axis violates that contract, so reject plans
 	// instead of reporting a crash as a measurement.
 	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
 		return Report{}, err
 	}
 	res, err := election.RunPeterson(changRobertsConfig(env, p.Arrangement))
@@ -276,6 +291,9 @@ func (p Synchronized) Run(env Env) (Report, error) {
 		return Report{}, fmt.Errorf("runner: synchronized protocol needs a MakeNode constructor")
 	}
 	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
 		return Report{}, err
 	}
 	kind := p.Kind
@@ -354,6 +372,9 @@ func (p SynchronizedElection) Run(env Env) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
 	// On non-ring topologies the election's tokens must follow the
 	// embedded Hamiltonian cycle, exactly as the native ring protocols do.
 	var ports []int
@@ -415,6 +436,9 @@ func (ClockSync) Name() string { return "clock-sync" }
 // Run implements Protocol.
 func (p ClockSync) Run(env Env) (Report, error) {
 	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
 		return Report{}, err
 	}
 	graph, err := env.graph()
@@ -487,6 +511,9 @@ func (p LiveElection) Run(env Env) (Report, error) {
 		return Report{}, err
 	}
 	if err := env.rejectFaults(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectAdversary(p.Name()); err != nil {
 		return Report{}, err
 	}
 	if env.Graph != nil && !isUnidirectionalRing(env.Graph) {

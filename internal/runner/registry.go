@@ -31,6 +31,7 @@ func init() {
 	RegisterProtocol(SynchronizedElection{})
 	RegisterProtocol(ClockSync{})
 	RegisterProtocol(LiveElection{})
+	RegisterProtocol(BenOr{})
 	// Synchronized is deliberately unregistered: it needs a MakeNode
 	// constructor, so it has no runnable default.
 }
@@ -59,6 +60,21 @@ var faultCapable = map[string]bool{
 	"election":         true,
 	"chang-roberts":    true,
 	"itai-rodeh-async": true,
+	"ben-or":           true,
+}
+
+// byzantineCapable names the protocols whose engines honour Env.Byzantine;
+// every other protocol rejects a non-nil plan with ErrByzantineUnsupported
+// (see Env.rejectAdversary).
+var byzantineCapable = map[string]bool{
+	"ben-or": true,
+}
+
+// broadcastCapable names the protocols that run on the local-broadcast
+// medium; every other protocol rejects Env.LocalBroadcast with
+// ErrBroadcastUnsupported.
+var broadcastCapable = map[string]bool{
+	"ben-or": true,
 }
 
 // NondeterministicRuntime is implemented by protocols whose runs are NOT
@@ -98,6 +114,12 @@ type Info struct {
 	Options []OptionField `json:"options"`
 	// SupportsFaults reports whether the protocol honours Env.Faults.
 	SupportsFaults bool `json:"supports_faults"`
+	// SupportsByzantine reports whether the protocol honours Env.Byzantine
+	// (adversarial per-node roles).
+	SupportsByzantine bool `json:"supports_byzantine"`
+	// SupportsBroadcast reports whether the protocol can run on the
+	// local-broadcast medium (Env.LocalBroadcast).
+	SupportsBroadcast bool `json:"supports_broadcast"`
 	// Deterministic reports whether a run is a pure function of
 	// (Env, seed) — false only for the live goroutine runtime.
 	Deterministic bool `json:"deterministic"`
@@ -124,10 +146,12 @@ func ProtocolInfo(name string) (Info, bool) {
 		return Info{}, false
 	}
 	return Info{
-		Name:           name,
-		Options:        optionFields(p),
-		SupportsFaults: faultCapable[name],
-		Deterministic:  isDeterministic(p),
+		Name:              name,
+		Options:           optionFields(p),
+		SupportsFaults:    faultCapable[name],
+		SupportsByzantine: byzantineCapable[name],
+		SupportsBroadcast: broadcastCapable[name],
+		Deterministic:     isDeterministic(p),
 	}, true
 }
 

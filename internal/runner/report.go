@@ -160,6 +160,51 @@ func (x ClockSyncExtra) metricsInto(m map[string]float64) {
 	m["violation_rate"] = x.ViolationRate
 }
 
+// ConsensusExtra is the Extra payload of the Ben-Or consensus protocol.
+// Agreement and Validity are judged over honest nodes only; the properties
+// say nothing about what Byzantine role holders output.
+type ConsensusExtra struct {
+	// F is the provisioned adversary budget the run waited against.
+	F int
+	// Honest counts nodes holding no Byzantine role.
+	Honest int
+	// Decided counts honest nodes that decided.
+	Decided int
+	// Decision is the unanimous honest decision, or -1.
+	Decision int
+	// Agreement: no two honest nodes decided different values.
+	Agreement bool
+	// Validity: a unanimous honest start is the only decidable value
+	// (vacuously true on split starts).
+	Validity bool
+	// Termination: every honest node decided.
+	Termination bool
+	// DecisionRound is the highest round at which an honest node decided.
+	DecisionRound int
+	// CoinFlips counts fallback coin flips across honest nodes.
+	CoinFlips int
+	// Ignored counts malformed payloads honest nodes dropped.
+	Ignored int
+}
+
+func (x ConsensusExtra) metricsInto(m map[string]float64) {
+	m["decided"] = float64(x.Decided)
+	m["decision_round"] = float64(x.DecisionRound)
+	m["coin_flips"] = float64(x.CoinFlips)
+	m["ignored"] = float64(x.Ignored)
+	m["agreement"] = boolMetric(x.Agreement)
+	m["validity"] = boolMetric(x.Validity)
+	m["termination"] = boolMetric(x.Termination)
+}
+
+// boolMetric renders a property verdict as a sweep-averageable 0/1.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // LiveExtra is the Extra payload of the live goroutine runtime.
 type LiveExtra struct {
 	// Elapsed is the wall-clock duration until the leader emerged.

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"abenet/internal/byzantine"
 	"abenet/internal/channel"
 	"abenet/internal/clock"
 	"abenet/internal/dist"
@@ -90,6 +91,21 @@ type Env struct {
 	// byte-identical to a fault-free build. Plans with message loss can
 	// deadlock a protocol, so pair them with a finite Horizon.
 	Faults *faults.Plan
+	// Byzantine optionally assigns adversarial per-node roles —
+	// equivocation, omission, corruption, stalling (see internal/byzantine).
+	// Honoured by ben-or; every other protocol rejects a non-nil plan with
+	// ErrByzantineUnsupported rather than reporting honest numbers as
+	// adversarial measurements. Nil keeps every run byte-identical to an
+	// adversary-free build.
+	Byzantine *byzantine.Plan
+	// LocalBroadcast switches the medium from per-edge point-to-point
+	// links to atomic local broadcast: one send per transmission,
+	// delivered identically to every neighbour at one instant (Khan &
+	// Vaidya's radio model, under which equivocation is physically
+	// impossible). Honoured by ben-or; every other protocol rejects it
+	// with ErrBroadcastUnsupported. Incompatible with Links and with
+	// per-message link faults (Loss/Duplicate/Reorder).
+	LocalBroadcast bool
 }
 
 // The structured environment-validation errors. Env.Validate wraps each
@@ -105,6 +121,23 @@ var (
 	ErrEnvAmbiguousDelay = errors.New("runner: ambiguous delay declaration")
 	// ErrEnvFaults: the fault plan fails faults.Plan.Validate.
 	ErrEnvFaults = errors.New("runner: invalid fault plan")
+	// ErrEnvByzantine: the Byzantine plan fails byzantine.Plan.Validate.
+	ErrEnvByzantine = errors.New("runner: invalid byzantine plan")
+	// ErrEnvBroadcast: LocalBroadcast conflicts with the rest of the
+	// environment (a Links factory, or per-message link faults — neither
+	// composes with the radio medium).
+	ErrEnvBroadcast = errors.New("runner: invalid local-broadcast environment")
+)
+
+// The structured capability-rejection errors: a protocol that cannot
+// honour an adversarial environment refuses to run rather than silently
+// reporting honest numbers. Classify with errors.Is.
+var (
+	// ErrByzantineUnsupported: the protocol ignores Env.Byzantine.
+	ErrByzantineUnsupported = errors.New("runner: protocol does not support byzantine adversaries")
+	// ErrBroadcastUnsupported: the protocol runs on point-to-point links
+	// only and ignores Env.LocalBroadcast.
+	ErrBroadcastUnsupported = errors.New("runner: protocol does not support the local-broadcast medium")
 )
 
 // Validate checks the environment's internal consistency and returns a
@@ -125,6 +158,17 @@ func (e Env) Validate() error {
 	}
 	if err := e.Faults.Validate(n); err != nil {
 		return fmt.Errorf("%w: %v", ErrEnvFaults, err)
+	}
+	if err := e.Byzantine.Validate(n); err != nil {
+		return fmt.Errorf("%w: %v", ErrEnvByzantine, err)
+	}
+	if e.LocalBroadcast {
+		if e.Links != nil {
+			return fmt.Errorf("%w: Links and LocalBroadcast are exclusive (the radio medium replaces per-edge links; shape it with Delay)", ErrEnvBroadcast)
+		}
+		if e.Faults.HasLinkFaults() {
+			return fmt.Errorf("%w: per-message link faults (Loss/Duplicate/Reorder) do not compose with the local-broadcast medium", ErrEnvBroadcast)
+		}
 	}
 	// Per-edge fault events must name edges of the concrete topology — a
 	// direction typo would otherwise surface later, unwrapped and
@@ -172,7 +216,21 @@ func (e Env) size() (int, error) {
 // overtakes every fault axis produces.
 func (e Env) rejectFaults(name string) error {
 	if e.Faults != nil {
-		return fmt.Errorf("runner: protocol %q does not support fault injection (Env.Faults is honoured by election, chang-roberts and itai-rodeh-async)", name)
+		return fmt.Errorf("runner: protocol %q does not support fault injection (Env.Faults is honoured by election, chang-roberts, itai-rodeh-async and ben-or)", name)
+	}
+	return nil
+}
+
+// rejectAdversary is the guard every protocol without a Byzantine-capable
+// engine calls: silently ignoring an adversary plan (or the broadcast
+// medium it is paired with) would report honest point-to-point numbers as
+// adversarial measurements. Only ben-or honours both axes.
+func (e Env) rejectAdversary(name string) error {
+	if e.Byzantine != nil {
+		return fmt.Errorf("%w: %q ignores Env.Byzantine (ben-or honours adversary plans)", ErrByzantineUnsupported, name)
+	}
+	if e.LocalBroadcast {
+		return fmt.Errorf("%w: %q runs on point-to-point links (ben-or honours Env.LocalBroadcast)", ErrBroadcastUnsupported, name)
 	}
 	return nil
 }

@@ -178,7 +178,7 @@ func TestElectionsOnNonRingTopologies(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	names := Protocols()
 	want := []string{
-		"chang-roberts", "clock-sync", "election", "itai-rodeh-async",
+		"ben-or", "chang-roberts", "clock-sync", "election", "itai-rodeh-async",
 		"itai-rodeh-sync", "live-election", "peterson", "synchronized-election",
 	}
 	if !reflect.DeepEqual(names, want) {

@@ -137,10 +137,12 @@ func TestHTTPErrorsAndMetadata(t *testing.T) {
 	}
 	var meta struct {
 		Protocols []struct {
-			Name           string `json:"name"`
-			SupportsFaults bool   `json:"supports_faults"`
-			Deterministic  bool   `json:"deterministic"`
-			Options        []struct {
+			Name              string `json:"name"`
+			SupportsFaults    bool   `json:"supports_faults"`
+			SupportsByzantine bool   `json:"supports_byzantine"`
+			SupportsBroadcast bool   `json:"supports_broadcast"`
+			Deterministic     bool   `json:"deterministic"`
+			Options           []struct {
 				Name string `json:"name"`
 				Type string `json:"type"`
 			} `json:"options"`
@@ -159,8 +161,20 @@ func TestHTTPErrorsAndMetadata(t *testing.T) {
 		if p.Name == "election" && !p.SupportsFaults {
 			t.Fatal("election metadata lost fault support")
 		}
+		// The capability table must separate the three fault tiers:
+		// plain (peterson), fault-capable (election), Byzantine-capable
+		// with local broadcast (ben-or alone).
+		if p.Name == "ben-or" && !(p.SupportsFaults && p.SupportsByzantine && p.SupportsBroadcast) {
+			t.Fatalf("ben-or metadata lost adversary capability: %+v", p)
+		}
+		if p.Name != "ben-or" && (p.SupportsByzantine || p.SupportsBroadcast) {
+			t.Fatalf("%s claims adversary capability its engine rejects", p.Name)
+		}
+		if p.Name == "peterson" && p.SupportsFaults {
+			t.Fatal("peterson metadata gained fault support")
+		}
 	}
-	if !seen["election"] || !seen["chang-roberts"] {
+	if !seen["election"] || !seen["chang-roberts"] || !seen["ben-or"] {
 		t.Fatalf("registry protocols missing from /v1/protocols: %v", seen)
 	}
 

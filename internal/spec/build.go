@@ -95,6 +95,14 @@ func (s *Spec) BuildEnv() (runner.Env, error) {
 		}
 		env.Faults = plan
 	}
+	if e.Byzantine != nil {
+		plan, err := e.Byzantine.Build()
+		if err != nil {
+			return runner.Env{}, err
+		}
+		env.Byzantine = plan
+	}
+	env.LocalBroadcast = e.LocalBroadcast
 	return env, nil
 }
 
@@ -147,6 +155,31 @@ func (s *Spec) validate() error {
 				}
 			}
 			return fmt.Errorf("spec: protocol %q does not support fault injection (fault-capable: %v)", s.Protocol.Name, capable)
+		}
+	}
+	// Same decode-time rejection for the adversarial axes: a Byzantine plan
+	// or the broadcast medium on a protocol that rejects them is a scenario
+	// guaranteed to fail at run time.
+	if s.Env.Byzantine != nil {
+		if info, ok := runner.ProtocolInfo(s.Protocol.Name); ok && !info.SupportsByzantine {
+			var capable []string
+			for _, i := range runner.Infos() {
+				if i.SupportsByzantine {
+					capable = append(capable, i.Name)
+				}
+			}
+			return fmt.Errorf("spec: protocol %q does not support byzantine adversaries (byzantine-capable: %v)", s.Protocol.Name, capable)
+		}
+	}
+	if s.Env.LocalBroadcast {
+		if info, ok := runner.ProtocolInfo(s.Protocol.Name); ok && !info.SupportsBroadcast {
+			var capable []string
+			for _, i := range runner.Infos() {
+				if i.SupportsBroadcast {
+					capable = append(capable, i.Name)
+				}
+			}
+			return fmt.Errorf("spec: protocol %q does not support the local-broadcast medium (broadcast-capable: %v)", s.Protocol.Name, capable)
 		}
 	}
 	if sw := s.Sweep; sw != nil {

@@ -202,3 +202,59 @@ func TestRoundTripFaultsAndSweep(t *testing.T) {
 		},
 	})
 }
+
+// TestRoundTripByzantineAndBroadcast: the identity holds for a spec
+// exercising the full adversary vocabulary and the local-broadcast medium,
+// and the decoded spec builds the plan the JSON describes.
+func TestRoundTripByzantineAndBroadcast(t *testing.T) {
+	s := &Spec{
+		Version: Version,
+		Env: EnvSpec{
+			Topology: CompleteTopology(8),
+			Seed:     1,
+			Horizon:  5000,
+			Byzantine: &ByzantineSpec{Roles: []ByzantineRoleSpec{
+				{Node: 0, Behavior: "equivocate"},
+				{Node: 1, Behavior: "mute", Prob: 0.5},
+				{Node: 2, Behavior: "stall", StallDelay: Exponential(3)},
+			}},
+			LocalBroadcast: true,
+		},
+		Protocol: protoSpec(t, runner.BenOr{F: 2, Init: "half", Coin: "common"}),
+	}
+	roundTrip(t, s)
+
+	env, err := s.BuildEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.LocalBroadcast {
+		t.Fatal("local_broadcast did not reach the env")
+	}
+	if env.Byzantine.Count() != 3 || !env.Byzantine.IsAdversary(2) {
+		t.Fatalf("built plan = %+v", env.Byzantine)
+	}
+
+	// An adversary plan on a protocol that rejects plans must fail at
+	// decode time, with the capable set named — same for the medium.
+	for _, env := range []EnvSpec{
+		{N: 8, Byzantine: &ByzantineSpec{Roles: []ByzantineRoleSpec{{Node: 0, Behavior: "mute"}}}},
+		{N: 8, LocalBroadcast: true},
+	} {
+		bad := &Spec{Version: Version, Env: env, Protocol: protoSpec(t, runner.Election{})}
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("election accepted adversarial env %+v", env)
+		}
+	}
+
+	// Unknown behaviour names fail with the vocabulary listed.
+	unk := &Spec{
+		Version: Version,
+		Env: EnvSpec{N: 8, Byzantine: &ByzantineSpec{
+			Roles: []ByzantineRoleSpec{{Node: 0, Behavior: "gossip"}}}},
+		Protocol: protoSpec(t, runner.BenOr{}),
+	}
+	if err := unk.Validate(); err == nil {
+		t.Fatal("unknown behavior accepted")
+	}
+}

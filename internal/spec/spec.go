@@ -90,6 +90,15 @@ type EnvSpec struct {
 	MaxRounds int `json:"max_rounds,omitempty"`
 	// Faults is the declarative fault plan; nil injects nothing.
 	Faults *FaultsSpec `json:"faults,omitempty"`
+	// Byzantine is the declarative adversary plan; nil assigns no roles.
+	// Only protocols whose registry metadata reports supports_byzantine
+	// accept it (currently ben-or).
+	Byzantine *ByzantineSpec `json:"byzantine,omitempty"`
+	// LocalBroadcast selects the atomic local-broadcast medium instead of
+	// per-edge point-to-point links; "delay" then shapes the per-
+	// transmission radio delay and "links" must be unset. Only protocols
+	// reporting supports_broadcast accept it (currently ben-or).
+	LocalBroadcast bool `json:"local_broadcast,omitempty"`
 }
 
 // SweepSpec sweeps the spec's protocol over ring sizes through

@@ -32,8 +32,10 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 
 	"abenet"
+	"abenet/internal/probe"
 	"abenet/internal/simtime"
 	"abenet/internal/spec"
 	"abenet/internal/trace"
@@ -70,6 +72,10 @@ func run() error {
 	broadcast := flag.Bool("broadcast", false, "atomic local-broadcast medium instead of point-to-point links (honoured by ben-or)")
 	horizon := flag.Float64("horizon", 0, "virtual-time bound (0 = unbounded, or 1000·δ when faults are on)")
 	withTrace := flag.Bool("trace", false, "print the full message trace")
+	obsEvery := flag.Uint64("observe-every", 0, "sample a time series every K executed events (observe-capable protocols)")
+	obsInterval := flag.Float64("observe-interval", 0, "sample a time series every T virtual time units")
+	obsMax := flag.Int("observe-max", 0, "cap on stored samples (0 = 100000)")
+	obsCSV := flag.String("observe-csv", "", "write the sampled series as CSV to FILE (\"-\" = stdout)")
 	withCheck := flag.Bool("check", false, "also model-check the election exhaustively at this size (n <= 5)")
 	liveMode := flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
 	specPath := flag.String("spec", "", "run a declarative scenario file instead of building one from flags")
@@ -93,12 +99,16 @@ func run() error {
 	if *liveMode && (set["loss"] || set["crash"] || set["recover"] || set["equivocate"] || set["broadcast"]) {
 		return fmt.Errorf("-live cannot be combined with -loss/-crash/-recover/-equivocate/-broadcast: the live goroutine runtime has no fault injection; drop -live to run the plan on the simulator")
 	}
+	if *liveMode && (set["observe-every"] || set["observe-interval"]) {
+		return fmt.Errorf("-live cannot be combined with -observe-every/-observe-interval: the live goroutine runtime has no event kernel to sample")
+	}
 
 	if *specPath != "" {
 		// A spec file states the whole scenario; flags that would fight it
 		// are rejected rather than silently losing.
 		conflicting := []string{"proto", "topo", "n", "a0", "delay", "mean", "drift", "gamma",
-			"loss", "crash", "recover", "equivocate", "broadcast", "horizon", "live", "check"}
+			"loss", "crash", "recover", "equivocate", "broadcast", "horizon", "live", "check",
+			"observe-every", "observe-interval", "observe-max"}
 		var clash []string
 		for _, name := range conflicting {
 			if set[name] {
@@ -107,13 +117,13 @@ func run() error {
 		}
 		if len(clash) > 0 {
 			sort.Strings(clash)
-			return fmt.Errorf("-spec states the scenario; drop %v (only -seed, -trace, -workers, -json and -dry-run combine with it)", clash)
+			return fmt.Errorf("-spec states the scenario; drop %v (only -seed, -trace, -workers, -observe-csv, -json and -dry-run combine with it)", clash)
 		}
 		var seedOverride *uint64
 		if set["seed"] {
 			seedOverride = seed
 		}
-		return runSpec(*specPath, seedOverride, *workers, *dryRun, *withTrace, *jsonOut)
+		return runSpec(*specPath, seedOverride, *workers, *dryRun, *withTrace, *jsonOut, *obsCSV)
 	}
 	if *dryRun {
 		return fmt.Errorf("-dry-run requires -spec")
@@ -185,6 +195,11 @@ func run() error {
 		// Lossy runs can deadlock legitimately; bound them by default.
 		env.Horizon = simtime.Time(1000 * *mean)
 	}
+	if *obsEvery > 0 || *obsInterval > 0 {
+		env.Observe = &probe.Config{EveryEvents: *obsEvery, Interval: *obsInterval, MaxSamples: *obsMax}
+	} else if set["observe-max"] || set["observe-csv"] {
+		return fmt.Errorf("-observe-max/-observe-csv need a sampling cadence: set -observe-every and/or -observe-interval")
+	}
 
 	if *liveMode {
 		rep, err := abenet.Run(env, abenet.LiveElection{A0: *a0})
@@ -228,6 +243,9 @@ func run() error {
 	if err := flushTrace(rec, *jsonOut); err != nil {
 		return err
 	}
+	if err := writeSeriesCSV(rep.Series, *obsCSV, *jsonOut); err != nil {
+		return err
+	}
 
 	// Run the model check before rendering so its outcome can live inside
 	// the JSON document: -json promises one parseable value on stdout.
@@ -242,6 +260,9 @@ func run() error {
 
 	if *jsonOut {
 		out := reportJSON(rep, "")
+		if rec != nil {
+			out["trace"] = traceJSON(rec)
+		}
 		if check != nil {
 			out["model_check"] = map[string]any{
 				"safe":            check.OK(),
@@ -265,7 +286,7 @@ func run() error {
 }
 
 // runSpec executes (or just validates) a scenario file.
-func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, jsonOut bool) error {
+func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, jsonOut bool, obsCSV string) error {
 	s, err := spec.DecodeFile(path)
 	if err != nil {
 		return err
@@ -338,8 +359,15 @@ func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, 
 	if err := flushTrace(rec, jsonOut); err != nil {
 		return err
 	}
+	if err := writeSeriesCSV(rep.Series, obsCSV, jsonOut); err != nil {
+		return err
+	}
 	if jsonOut {
-		return printJSON(rep, hash)
+		out := reportJSON(rep, hash)
+		if rec != nil {
+			out["trace"] = traceJSON(rec)
+		}
+		return encodeJSON(out)
 	}
 	label := "ring"
 	if s.Env.Topology != nil {
@@ -382,6 +410,66 @@ func flushTrace(rec *trace.Recorder, jsonOut bool) error {
 		return err
 	}
 	fmt.Fprintln(dest)
+	return nil
+}
+
+// traceJSON summarises the recorded trace for the JSON document — in
+// particular whether the recorder's cap truncated it, which the text mode
+// surfaces with WriteTo's closing line.
+func traceJSON(rec *trace.Recorder) map[string]any {
+	d := rec.Dropped()
+	return map[string]any{
+		"events":    rec.Len(),
+		"dropped":   d,
+		"truncated": d > 0,
+	}
+}
+
+// writeSeriesCSV renders the sampled time series as CSV: a header of
+// time,event plus the gauge names, one row per sample. dest "-" streams to
+// stdout (text mode only — under -json stdout carries the JSON document).
+func writeSeriesCSV(s *probe.Series, dest string, jsonOut bool) error {
+	if dest == "" {
+		return nil
+	}
+	if s == nil {
+		return fmt.Errorf("-observe-csv: the run produced no series (set a cadence via -observe-every/-observe-interval or a spec observe block)")
+	}
+	if dest == "-" {
+		if jsonOut {
+			return fmt.Errorf(`-observe-csv "-" cannot combine with -json (stdout is the JSON document); write the CSV to a file`)
+		}
+		return seriesCSV(s, os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := seriesCSV(s, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// seriesCSV writes the series rows.
+func seriesCSV(s *probe.Series, w io.Writer) error {
+	header := "time,event"
+	for _, name := range s.Names {
+		header += "," + name
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		row := strconv.FormatFloat(smp.Time, 'g', -1, 64) + "," + strconv.FormatUint(smp.Event, 10)
+		for _, v := range smp.Values {
+			row += "," + strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -474,6 +562,13 @@ func printReport(rep abenet.Report, envLabel string, size int) {
 		if !rep.Elected && rep.Leaders == 0 && !consensus {
 			fmt.Printf("outcome             : no leader within the horizon (faults won this one)\n")
 		}
+	}
+	if s := rep.Series; s != nil {
+		line := fmt.Sprintf("series              : %d samples × %d gauges", len(s.Samples), len(s.Names))
+		if s.Truncated > 0 {
+			line += fmt.Sprintf(" (%d more truncated past the cap)", s.Truncated)
+		}
+		fmt.Println(line)
 	}
 	if len(rep.Violations) > 0 {
 		fmt.Printf("VIOLATIONS          : %v\n", rep.Violations)

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -34,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -85,6 +87,7 @@ func run() error {
 	queue := flag.Int("queue", 256, "in-process server: queued-job bound")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 	label := flag.String("label", "AbeLoad", "benchmark name suffix on the stdout line (Benchmark<label>)")
+	metricsURL := flag.String("metrics-url", "", `Prometheus endpoint to scrape before/after and diff ("auto" = the driven server's /metrics)`)
 	flag.Parse()
 
 	if *n <= 0 || *c <= 0 {
@@ -114,6 +117,16 @@ func run() error {
 	before, err := fetchStats(client, base)
 	if err != nil {
 		return fmt.Errorf("server not reachable at %s: %w", base, err)
+	}
+	scrapeURL := *metricsURL
+	if scrapeURL == "auto" {
+		scrapeURL = base + "/metrics"
+	}
+	var promBefore map[string]float64
+	if scrapeURL != "" {
+		if promBefore, err = scrapeMetrics(client, scrapeURL); err != nil {
+			return fmt.Errorf("metrics endpoint not reachable at %s: %w", scrapeURL, err)
+		}
 	}
 
 	plan := planRequests(*n, *repeat, *seed, len(corpus))
@@ -152,7 +165,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	return report(*label, outcomes, elapsed, before, after, corpus, *n, *c, *repeat)
+	var promDeltas map[string]float64
+	if scrapeURL != "" {
+		promAfter, err := scrapeMetrics(client, scrapeURL)
+		if err != nil {
+			return err
+		}
+		promDeltas = metricDeltas(promBefore, promAfter)
+	}
+	return report(*label, outcomes, elapsed, before, after, promDeltas, corpus, *n, *c, *repeat)
 }
 
 // loadCorpus decodes every deterministic spec fixture in dir. Sweep specs
@@ -268,6 +289,56 @@ func submit(client *http.Client, base string, raw json.RawMessage, seed uint64) 
 	return o
 }
 
+// scrapeMetrics reads a Prometheus text-format endpoint into a flat
+// series → value map (the metric name with its rendered label set, e.g.
+// `abe_cache_hits_total{tier="memory"}`). Comment and blank lines are
+// skipped; an unparsable sample line is an error — a scrape target that is
+// not actually Prometheus-shaped should fail loudly, not diff as zeros.
+func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("scrape %s: unparsable sample line %q", url, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: sample line %q: %w", url, line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// metricDeltas diffs two scrapes, keeping only series that moved. Series
+// absent from the first scrape count from zero (counters with labels often
+// appear on first increment).
+func metricDeltas(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
 // fetchStats reads the server's /healthz counters.
 func fetchStats(client *http.Client, base string) (service.Stats, error) {
 	resp, err := client.Get(base + "/healthz")
@@ -286,7 +357,7 @@ func fetchStats(client *http.Client, base string) (service.Stats, error) {
 
 // report prints the stderr summary and the stdout benchmark line, and
 // fails if any submission failed outright.
-func report(label string, outcomes []outcome, elapsed time.Duration, before, after service.Stats, corpus []scenario, n, c int, repeatFrac float64) error {
+func report(label string, outcomes []outcome, elapsed time.Duration, before, after service.Stats, promDeltas map[string]float64, corpus []scenario, n, c int, repeatFrac float64) error {
 	lat := make([]time.Duration, 0, len(outcomes))
 	var hits, rejected, failed int
 	var total time.Duration
@@ -333,6 +404,23 @@ func report(label string, outcomes []outcome, elapsed time.Duration, before, aft
 		hitRate, memHits, storeHits, after.CacheEntries, after.StoreEntries)
 	if rejected > 0 || failed > 0 {
 		fmt.Fprintf(os.Stderr, "  degraded   %d rejected (503), %d failed\n", rejected, failed)
+	}
+	if promDeltas != nil {
+		// Counter deltas across the run, from the scraped /metrics endpoint
+		// (counters only: gauge movements across a whole run are noise).
+		keys := make([]string, 0, len(promDeltas))
+		for k := range promDeltas {
+			if strings.Contains(k, "_total") {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			fmt.Fprintf(os.Stderr, "  metrics    no counter moved during the run\n")
+		}
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "  metrics    %s +%g\n", k, promDeltas[k])
+		}
 	}
 
 	// One benchmark-shaped line for internal/tools/benchjson.

@@ -12,16 +12,20 @@
 //
 // API:
 //
-//	POST   /v1/runs        {"spec": {...}, "seed": 7, "wait": true}
-//	GET    /v1/runs/{id}   job status / result
-//	DELETE /v1/runs/{id}   cancel
-//	GET    /v1/protocols   registry metadata (names, options, capabilities)
-//	GET    /healthz        liveness + counters (per-tier cache hits)
+//	POST   /v1/runs             {"spec": {...}, "seed": 7, "wait": true}
+//	GET    /v1/runs/{id}        job status / result
+//	GET    /v1/runs/{id}/events progress stream (Server-Sent Events)
+//	DELETE /v1/runs/{id}        cancel
+//	GET    /v1/protocols        registry metadata (names, options, capabilities)
+//	GET    /healthz             liveness + counters (?quick=1: status only)
+//	GET    /metrics             counters in Prometheus text format
 //
 // Quickstart:
 //
 //	abe-serve -store /var/lib/abe &
 //	curl -s localhost:8080/v1/runs -d '{"spec": '"$(cat examples/specs/election_ring.json)"', "wait": true}'
+//	curl -N localhost:8080/v1/runs/<id>/events   # follow a job live
+//	curl -s localhost:8080/metrics               # scrape the counters
 package main
 
 import (
@@ -39,6 +43,10 @@ import (
 	"abenet/internal/service"
 	"abenet/internal/store"
 )
+
+// version is the build string /healthz reports; release builds override it
+// with -ldflags "-X main.version=...".
+var version = "0.8.0-dev"
 
 func main() {
 	if err := run(); err != nil {
@@ -81,7 +89,7 @@ func run() error {
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc, service.HandlerOptions{MaxBodyBytes: *maxBody}),
+		Handler:           service.NewHandler(svc, service.HandlerOptions{MaxBodyBytes: *maxBody, Version: version}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -35,6 +35,7 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/faults"
 	"abenet/internal/network"
+	"abenet/internal/probe"
 	"abenet/internal/rng"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
@@ -140,6 +141,10 @@ type Config struct {
 	Faults *faults.Plan
 	// Byzantine optionally assigns adversarial roles.
 	Byzantine *byzantine.Plan
+	// Observe optionally samples a time series during the run (see
+	// internal/probe); sampling never perturbs the schedule. Nil disables
+	// collection.
+	Observe *probe.Config
 }
 
 // Result is the outcome of one consensus run. Agreement and Validity are
@@ -177,6 +182,59 @@ type Result struct {
 	StopCause     string
 	Params        core.Params
 	Faults        *faults.Telemetry
+	// Series is the sampled time series, nil without an observe config.
+	Series *probe.Series
+}
+
+// benorProbe exposes the protocol-level gauges of a Ben-Or run: round and
+// phase progress across the live node instances and the count of honest
+// deciders (tracked at the engine so it survives churn restarts).
+type benorProbe struct {
+	nodes   []*node
+	decided *int
+}
+
+// ProbeGauges implements probe.Observable.
+func (p benorProbe) ProbeGauges() []probe.Gauge {
+	return []probe.Gauge{
+		{Name: "round_max", Read: func() float64 {
+			max := int32(0)
+			for _, nd := range p.nodes {
+				if nd != nil && nd.round > max {
+					max = nd.round
+				}
+			}
+			return float64(max)
+		}},
+		{Name: "round_min", Read: func() float64 {
+			min := int32(0)
+			first := true
+			for _, nd := range p.nodes {
+				if nd == nil {
+					continue
+				}
+				if first || nd.round < min {
+					min = nd.round
+					first = false
+				}
+			}
+			return float64(min)
+		}},
+		{Name: "phase_max", Read: func() float64 {
+			var round int32
+			var phase int8
+			for _, nd := range p.nodes {
+				if nd == nil {
+					continue
+				}
+				if nd.round > round || (nd.round == round && nd.phase > phase) {
+					round, phase = nd.round, nd.phase
+				}
+			}
+			return float64(phase)
+		}},
+		{Name: "decided", Read: func() float64 { return float64(*p.decided) }},
+	}
 }
 
 // Run executes one consensus instance.
@@ -257,8 +315,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	nodes := make([]*node, n)
 	makeNode := func(i int) network.Node {
-		return &node{
+		nodes[i] = &node{
 			id: i, n: n, f: cfg.F,
 			est:       initial[i],
 			coin:      cfg.Coin,
@@ -266,6 +325,7 @@ func Run(cfg Config) (Result, error) {
 			maxRounds: int32(maxRounds),
 			onDecide:  onDecide,
 		}
+		return nodes[i]
 	}
 	net, err := network.New(network.Config{
 		Graph:          cfg.Graph,
@@ -283,6 +343,14 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("consensus: %w", err)
 	}
 	netw = net
+	var collector *probe.Collector
+	if cfg.Observe != nil {
+		collector, err = probe.NewCollector(*cfg.Observe, net, benorProbe{nodes: nodes, decided: &decidedHonest})
+		if err != nil {
+			return Result{}, fmt.Errorf("consensus: %w", err)
+		}
+		net.InstallProbe(collector)
+	}
 	if err := net.Run(horizon, maxEvents); err != nil {
 		return Result{}, fmt.Errorf("consensus: %w", err)
 	}
@@ -297,6 +365,10 @@ func Run(cfg Config) (Result, error) {
 		StopCause:     net.StopCause(),
 		Params:        core.ParamsOf(net),
 		Faults:        net.FaultTelemetry(),
+	}
+	if collector != nil {
+		collector.Final(net.Now(), net.Kernel().Executed())
+		res.Series = collector.Series()
 	}
 	return judge(res, net, honest, decisions, decisionRounds), nil
 }

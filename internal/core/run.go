@@ -8,6 +8,7 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/faults"
 	"abenet/internal/network"
+	"abenet/internal/probe"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
 )
@@ -64,6 +65,11 @@ type ElectionConfig struct {
 	// a fault-free build. Runs that can deadlock under loss should also
 	// set a finite Horizon.
 	Faults *faults.Plan
+	// Observe optionally samples a time series during the run (see
+	// internal/probe). Sampling runs off the kernel's post-event hook and
+	// never perturbs the schedule: the run stays byte-identical to an
+	// unobserved one. Nil disables collection.
+	Observe *probe.Config
 }
 
 // ElectionResult summarises one election run.
@@ -103,6 +109,40 @@ type ElectionResult struct {
 	// Faults is the fault-injection telemetry, nil unless the config set
 	// a fault plan.
 	Faults *faults.Telemetry
+	// Series is the sampled time series, nil unless the config set
+	// Observe.
+	Series *probe.Series
+}
+
+// electionProbe exposes protocol-level gauges over the live node slice.
+// Churn restarts overwrite slots in place, so the gauges always read the
+// current incarnation of each node.
+type electionProbe struct{ nodes []*ElectionNode }
+
+// ProbeGauges implements probe.Observable.
+func (p electionProbe) ProbeGauges() []probe.Gauge {
+	count := func(s State) func() float64 {
+		return func() float64 {
+			n := 0
+			for _, node := range p.nodes {
+				if node != nil && node.State() == s {
+					n++
+				}
+			}
+			return float64(n)
+		}
+	}
+	leaders := count(Leader)
+	return []probe.Gauge{
+		{Name: "candidates", Read: count(Active)},
+		{Name: "passive", Read: count(Passive)},
+		{Name: "elected", Read: func() float64 {
+			if leaders() > 0 {
+				return 1
+			}
+			return 0
+		}},
+	}
 }
 
 // RunElection builds an anonymous unidirectional ABE ring per cfg and runs
@@ -202,6 +242,14 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 	if err != nil {
 		return ElectionResult{}, err
 	}
+	var collector *probe.Collector
+	if cfg.Observe != nil {
+		collector, err = probe.NewCollector(*cfg.Observe, net, electionProbe{nodes: nodes})
+		if err != nil {
+			return ElectionResult{}, fmt.Errorf("core: %w", err)
+		}
+		net.InstallProbe(collector)
+	}
 
 	if err := net.Run(horizon, maxEvents); err != nil {
 		return ElectionResult{}, err
@@ -235,6 +283,10 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 	res.Transmissions = m.Transmissions
 	res.Time = float64(net.Now())
 	res.Faults = net.FaultTelemetry()
+	if collector != nil {
+		collector.Final(net.Now(), net.Kernel().Executed())
+		res.Series = collector.Series()
+	}
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/faults"
 	"abenet/internal/network"
+	"abenet/internal/probe"
 	"abenet/internal/rng"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
@@ -102,6 +103,7 @@ type ChangRobertsConfig struct {
 	MaxEvents   uint64         // 0 means 50e6
 	Tracer      network.Tracer // optional run observer
 	Faults      *faults.Plan   // optional fault injection; nil changes nothing
+	Observe     *probe.Config  // optional time-series sampling; never perturbs the schedule
 }
 
 // asyncRing converts to the shared resolution config.
@@ -154,6 +156,14 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
+	collector, err := installProbe(net, cfg.Observe, ringProbe{
+		n:        n,
+		isActive: func(i int) bool { return nodes[i].active },
+		isLeader: func(i int) bool { return nodes[i].leader },
+	})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
 	if err := net.Run(horizon, maxEvents); err != nil {
 		return AsyncRingResult{}, err
 	}
@@ -168,6 +178,7 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
 	res.Faults = net.FaultTelemetry()
+	res.Series = finishProbe(net, collector)
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/faults"
 	"abenet/internal/network"
+	"abenet/internal/probe"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
 )
@@ -138,6 +139,10 @@ type AsyncRingConfig struct {
 	// Faults optionally injects message faults, node churn and link
 	// outages; nil keeps the run byte-identical to a fault-free build.
 	Faults *faults.Plan
+	// Observe optionally samples a time series during the run (see
+	// internal/probe); sampling never perturbs the schedule. Nil disables
+	// collection.
+	Observe *probe.Config
 }
 
 // resolve normalises the config into a concrete graph, ring size and
@@ -180,6 +185,8 @@ type AsyncRingResult struct {
 	Time        float64
 	// Faults is the fault-injection telemetry, nil without a fault plan.
 	Faults *faults.Telemetry
+	// Series is the sampled time series, nil without an observe config.
+	Series *probe.Series
 }
 
 // RunItaiRodehAsync runs the asynchronous Itai–Rodeh election on an
@@ -233,6 +240,14 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
+	collector, err := installProbe(net, cfg.Observe, ringProbe{
+		n:        n,
+		isActive: func(i int) bool { return nodes[i].active },
+		isLeader: func(i int) bool { return nodes[i].leader },
+	})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
 	if err := net.Run(horizon, maxEvents); err != nil {
 		return AsyncRingResult{}, err
 	}
@@ -247,6 +262,7 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
 	res.Faults = net.FaultTelemetry()
+	res.Series = finishProbe(net, collector)
 	return res, nil
 }
 

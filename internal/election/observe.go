@@ -1,0 +1,64 @@
+package election
+
+import (
+	"fmt"
+
+	"abenet/internal/network"
+	"abenet/internal/probe"
+)
+
+// ringProbe exposes the protocol-level gauges shared by the ring election
+// baselines: the number of active candidates and the elected flag. The
+// predicates read the live node slice, so churn restarts are reflected.
+type ringProbe struct {
+	n        int
+	isActive func(i int) bool
+	isLeader func(i int) bool
+}
+
+// ProbeGauges implements probe.Observable.
+func (p ringProbe) ProbeGauges() []probe.Gauge {
+	return []probe.Gauge{
+		{Name: "candidates", Read: func() float64 {
+			c := 0
+			for i := 0; i < p.n; i++ {
+				if p.isActive(i) {
+					c++
+				}
+			}
+			return float64(c)
+		}},
+		{Name: "elected", Read: func() float64 {
+			for i := 0; i < p.n; i++ {
+				if p.isLeader(i) {
+					return 1
+				}
+			}
+			return 0
+		}},
+	}
+}
+
+// installProbe builds a collector over the network and protocol gauges and
+// attaches it to the kernel's post-event hook. A nil cfg is a no-op.
+func installProbe(net *network.Network, cfg *probe.Config, proto probe.Observable) (*probe.Collector, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	c, err := probe.NewCollector(*cfg, net, proto)
+	if err != nil {
+		return nil, fmt.Errorf("election: %w", err)
+	}
+	net.InstallProbe(c)
+	return c, nil
+}
+
+// finishProbe takes the end-of-run sample and returns the series, or nil
+// when the run was unobserved.
+func finishProbe(net *network.Network, c *probe.Collector) *probe.Series {
+	if c == nil {
+		return nil
+	}
+	c.Final(net.Now(), net.Kernel().Executed())
+	return c.Series()
+}

@@ -156,6 +156,14 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	if err != nil {
 		return AsyncRingResult{}, err
 	}
+	collector, err := installProbe(net, cfg.Observe, ringProbe{
+		n:        n,
+		isActive: func(i int) bool { return nodes[i].active },
+		isLeader: func(i int) bool { return nodes[i].leader },
+	})
+	if err != nil {
+		return AsyncRingResult{}, err
+	}
 	if err := net.Run(horizon, maxEvents); err != nil {
 		return AsyncRingResult{}, err
 	}
@@ -170,5 +178,6 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
 	res.Faults = net.FaultTelemetry()
+	res.Series = finishProbe(net, collector)
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"abenet/internal/rng"
 	"abenet/internal/stats"
@@ -54,6 +55,16 @@ type Sweep struct {
 	// Seed is the base seed; per-run seeds are derived deterministically
 	// from it, so results are independent of worker scheduling.
 	Seed uint64
+	// OnPoint, when non-nil, is called once per sweep position as soon as
+	// that position's last repetition completes — the streaming-progress
+	// hook behind served sweeps. The point carries the same aggregated
+	// values the final result will (repetitions fold in canonical order
+	// either way); only the *arrival order across positions* depends on
+	// scheduling. Calls are serialized (never concurrent) but may come
+	// from worker goroutines, so the callback must not block for long and
+	// must not call back into the sweep. Positions with a failed
+	// repetition are skipped; Run reports the error at the end as usual.
+	OnPoint func(xIdx int, p Point)
 }
 
 // Run executes fn at every position in xs, Repetitions times each, in
@@ -99,6 +110,17 @@ func (s Sweep) Run(xs []float64, fn RunFunc) ([]Point, error) {
 		errs[i] = make([]error, reps)
 	}
 
+	// remaining counts each position's unfinished repetitions so the
+	// OnPoint streaming hook can fire the moment a position completes.
+	var remaining []int64
+	var onPointMu sync.Mutex
+	if s.OnPoint != nil {
+		remaining = make([]int64, len(xs))
+		for i := range remaining {
+			remaining[i] = int64(reps)
+		}
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -107,6 +129,16 @@ func (s Sweep) Run(xs []float64, fn RunFunc) ([]Point, error) {
 				m, err := fn(xs[t.xIdx], seedOf(t.xIdx, t.rep))
 				results[t.xIdx][t.rep] = m
 				errs[t.xIdx][t.rep] = err
+				if remaining != nil && atomic.AddInt64(&remaining[t.xIdx], -1) == 0 {
+					// This position is done; aggregate its slots in
+					// canonical repetition order (identical folds to the
+					// final pass) and stream it out.
+					if p, perr := aggregatePoint(xs[t.xIdx], results[t.xIdx], errs[t.xIdx]); perr == nil {
+						onPointMu.Lock()
+						s.OnPoint(t.xIdx, p)
+						onPointMu.Unlock()
+					}
+				}
 			}
 		}()
 	}
@@ -119,25 +151,36 @@ func (s Sweep) Run(xs []float64, fn RunFunc) ([]Point, error) {
 	wg.Wait()
 
 	points := make([]Point, len(xs))
-	for i, x := range xs {
-		points[i] = Point{X: x, Samples: make(map[string]*stats.Sample)}
-	}
-	for xIdx := range xs {
-		for rep := 0; rep < reps; rep++ {
-			if err := errs[xIdx][rep]; err != nil {
-				return nil, fmt.Errorf("harness: %s at x=%g: %w", s.Name, xs[xIdx], err)
-			}
-			for name, v := range results[xIdx][rep] {
-				sample, ok := points[xIdx].Samples[name]
-				if !ok {
-					sample = &stats.Sample{}
-					points[xIdx].Samples[name] = sample
-				}
-				sample.Add(v)
-			}
+	for xIdx, x := range xs {
+		p, err := aggregatePoint(x, results[xIdx], errs[xIdx])
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s at x=%g: %w", s.Name, x, err)
 		}
+		points[xIdx] = p
 	}
 	return points, nil
+}
+
+// aggregatePoint folds one position's repetition slots, in canonical
+// repetition order, into an aggregated Point. The fold order is fixed, so
+// the floating-point results are bit-identical for any worker count — and
+// identical between the streaming OnPoint hook and the final pass.
+func aggregatePoint(x float64, results []Metrics, errs []error) (Point, error) {
+	p := Point{X: x, Samples: make(map[string]*stats.Sample)}
+	for rep := range results {
+		if err := errs[rep]; err != nil {
+			return Point{}, err
+		}
+		for name, v := range results[rep] {
+			sample, ok := p.Samples[name]
+			if !ok {
+				sample = &stats.Sample{}
+				p.Samples[name] = sample
+			}
+			sample.Add(v)
+		}
+	}
+	return p, nil
 }
 
 // GrowthExponent fits metric ~ C·x^k over the sweep's points and returns

@@ -1,0 +1,197 @@
+package probe
+
+import (
+	"reflect"
+	"testing"
+
+	"abenet/internal/simtime"
+)
+
+// fakeObs is a test observable over explicit gauges.
+type fakeObs struct{ gauges []Gauge }
+
+func (f fakeObs) ProbeGauges() []Gauge { return f.gauges }
+
+func counterObs(name string, v *float64) fakeObs {
+	return fakeObs{gauges: []Gauge{{Name: name, Read: func() float64 { return *v }}}}
+}
+
+// TestEveryEventsCadence pins the every-K semantics: the first sample lands
+// on event K, then every K events after the event that sampled.
+func TestEveryEventsCadence(t *testing.T) {
+	v := 0.0
+	c, err := NewCollector(Config{EveryEvents: 3}, counterObs("x", &v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 10; e++ {
+		v = float64(e)
+		c.Observe(simtime.Time(float64(e)), e)
+	}
+	s := c.Series()
+	var events []uint64
+	for _, smp := range s.Samples {
+		events = append(events, smp.Event)
+	}
+	if want := []uint64{3, 6, 9}; !reflect.DeepEqual(events, want) {
+		t.Fatalf("sampled events = %v, want %v", events, want)
+	}
+	if s.Samples[1].Values[0] != 6 {
+		t.Fatalf("sample value = %g, want the gauge reading at event 6", s.Samples[1].Values[0])
+	}
+}
+
+// TestIntervalCadence pins the virtual-time semantics: the first event
+// samples the initial state, a same-instant burst yields one sample, and a
+// long gap yields one catch-up sample (never a backlog).
+func TestIntervalCadence(t *testing.T) {
+	v := 0.0
+	c, err := NewCollector(Config{Interval: 1}, counterObs("x", &v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0, 0, 0.4, 1.0, 1.0, 1.0, 5.25, 5.3}
+	for i, now := range times {
+		c.Observe(simtime.Time(now), uint64(i+1))
+	}
+	var sampled []float64
+	for _, smp := range c.Series().Samples {
+		sampled = append(sampled, smp.Time)
+	}
+	// One sample at t=0 (initial state), one at the first event ≥ 1, one at
+	// the first event ≥ 2 (which is 5.25 — the gap collapses to one row).
+	if want := []float64{0, 1.0, 5.25}; !reflect.DeepEqual(sampled, want) {
+		t.Fatalf("sampled times = %v, want %v", sampled, want)
+	}
+}
+
+// TestBothCadences takes at most one sample per event even when both axes
+// are due at once.
+func TestBothCadences(t *testing.T) {
+	v := 0.0
+	c, err := NewCollector(Config{EveryEvents: 1, Interval: 0.5}, counterObs("x", &v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(simtime.Time(0), 1)
+	c.Observe(simtime.Time(2), 2)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want one sample per event", got)
+	}
+}
+
+// TestFinalRecordsClosingSample pins Final: it appends the end-of-run state
+// unless the cadence already sampled at that event, and is idempotent.
+func TestFinalRecordsClosingSample(t *testing.T) {
+	v := 0.0
+	c, _ := NewCollector(Config{EveryEvents: 2}, counterObs("x", &v))
+	c.Observe(simtime.Time(1), 1)
+	c.Observe(simtime.Time(2), 2) // samples
+	c.Observe(simtime.Time(3), 3)
+	v = 42
+	c.Final(simtime.Time(3.5), 3)
+	c.Final(simtime.Time(9), 9) // idempotent: frozen after the first call
+	s := c.Series()
+	if len(s.Samples) != 2 {
+		t.Fatalf("samples = %d, want cadence sample + closing sample", len(s.Samples))
+	}
+	last := s.Samples[len(s.Samples)-1]
+	if last.Event != 3 || last.Values[0] != 42 {
+		t.Fatalf("closing sample = %+v, want event 3 with the final reading", last)
+	}
+
+	// When the cadence already sampled the final event, Final adds nothing.
+	c2, _ := NewCollector(Config{EveryEvents: 2}, counterObs("x", &v))
+	c2.Observe(simtime.Time(1), 2)
+	c2.Final(simtime.Time(1), 2)
+	if c2.Len() != 1 {
+		t.Fatalf("Final duplicated the last sample: %d rows", c2.Len())
+	}
+}
+
+// TestTruncation pins the cap: stored samples are a prefix and the overflow
+// is counted, including the final sample.
+func TestTruncation(t *testing.T) {
+	v := 0.0
+	c, _ := NewCollector(Config{EveryEvents: 1, MaxSamples: 2}, counterObs("x", &v))
+	for e := uint64(1); e <= 5; e++ {
+		c.Observe(simtime.Time(float64(e)), e)
+	}
+	c.Final(simtime.Time(6), 6)
+	s := c.Series()
+	if len(s.Samples) != 2 || s.Truncated != 4 {
+		t.Fatalf("samples/truncated = %d/%d, want 2/4", len(s.Samples), s.Truncated)
+	}
+	if s.Samples[1].Event != 2 {
+		t.Fatalf("stored samples are not the prefix: %+v", s.Samples)
+	}
+}
+
+// TestSinkStreamsEverySample pins the live hook: every recorded sample
+// reaches the sink with the shared names slice.
+func TestSinkStreamsEverySample(t *testing.T) {
+	v := 0.0
+	var got []Sample
+	cfg := Config{EveryEvents: 1, Sink: func(names []string, s Sample) {
+		if len(names) != 1 || names[0] != "x" {
+			t.Fatalf("sink names = %v", names)
+		}
+		got = append(got, Sample{Time: s.Time, Event: s.Event, Values: append([]float64(nil), s.Values...)})
+	}}
+	c, _ := NewCollector(cfg, counterObs("x", &v))
+	for e := uint64(1); e <= 3; e++ {
+		v = float64(e)
+		c.Observe(simtime.Time(float64(e)), e)
+	}
+	c.Final(simtime.Time(4), 4)
+	if len(got) != 4 {
+		t.Fatalf("sink saw %d samples, want 4 (3 cadence + final)", len(got))
+	}
+	if got[2].Values[0] != 3 {
+		t.Fatalf("sink values = %+v", got[2])
+	}
+}
+
+// TestCollectorErrors pins the constructor and config errors.
+func TestCollectorErrors(t *testing.T) {
+	v := 0.0
+	if _, err := NewCollector(Config{}, counterObs("x", &v)); err == nil {
+		t.Error("config without a cadence accepted")
+	}
+	if _, err := NewCollector(Config{Interval: -1}, counterObs("x", &v)); err == nil {
+		t.Error("negative interval accepted")
+	}
+	if _, err := NewCollector(Config{EveryEvents: 1, MaxSamples: -1}, counterObs("x", &v)); err == nil {
+		t.Error("negative max_samples accepted")
+	}
+	if _, err := NewCollector(Config{EveryEvents: 1}); err == nil {
+		t.Error("empty gauge set accepted")
+	}
+	if _, err := NewCollector(Config{EveryEvents: 1}, counterObs("x", &v), counterObs("x", &v)); err == nil {
+		t.Error("duplicate gauge names accepted")
+	}
+	if _, err := NewCollector(Config{EveryEvents: 1}, fakeObs{gauges: []Gauge{{Name: "y"}}}); err == nil {
+		t.Error("gauge without a reader accepted")
+	}
+	var nilCfg *Config
+	if err := nilCfg.Validate(); err != nil {
+		t.Errorf("nil config Validate = %v, want nil", err)
+	}
+}
+
+// TestBackingSurvivesGrowth: samples recorded early stay valid after the
+// flat backing slice reallocates many times.
+func TestBackingSurvivesGrowth(t *testing.T) {
+	v := 0.0
+	c, _ := NewCollector(Config{EveryEvents: 1}, counterObs("x", &v))
+	for e := uint64(1); e <= 1000; e++ {
+		v = float64(e)
+		c.Observe(simtime.Time(float64(e)), e)
+	}
+	s := c.Series()
+	for i, smp := range s.Samples {
+		if want := float64(i + 1); smp.Values[0] != want {
+			t.Fatalf("sample %d reads %g after backing growth, want %g", i, smp.Values[0], want)
+		}
+	}
+}

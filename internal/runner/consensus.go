@@ -73,6 +73,7 @@ func (p BenOr) Run(env Env) (Report, error) {
 		Tracer:         env.Tracer,
 		Faults:         env.Faults,
 		Byzantine:      env.Byzantine,
+		Observe:        env.Observe,
 	})
 	if err != nil {
 		return Report{}, err
@@ -85,6 +86,7 @@ func (p BenOr) Run(env Env) (Report, error) {
 		Violations:    res.Violations,
 		Params:        res.Params,
 		Faults:        res.Faults,
+		Series:        res.Series,
 		Extra: ConsensusExtra{
 			F:             res.F,
 			Honest:        res.Honest,

@@ -78,6 +78,7 @@ func (p Election) Run(env Env) (Report, error) {
 		Seed:               env.Seed,
 		Tracer:             env.Tracer,
 		Faults:             env.Faults,
+		Observe:            env.Observe,
 	})
 	if err != nil {
 		return Report{}, err
@@ -92,6 +93,7 @@ func (p Election) Run(env Env) (Report, error) {
 		Violations:    res.Violations,
 		Params:        res.Params,
 		Faults:        res.Faults,
+		Series:        res.Series,
 		Extra: ElectionExtra{
 			Activations:    res.Activations,
 			Knockouts:      res.Knockouts,
@@ -133,6 +135,9 @@ func (p ItaiRodehSync) Run(env Env) (Report, error) {
 		return Report{}, err
 	}
 	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectObserve(p.Name()); err != nil {
 		return Report{}, err
 	}
 	res, err := election.RunItaiRodehSyncConfig(election.ItaiRodehSyncConfig{
@@ -180,6 +185,7 @@ func (ItaiRodehAsync) Run(env Env) (Report, error) {
 		MaxEvents:  env.MaxEvents,
 		Tracer:     env.Tracer,
 		Faults:     env.Faults,
+		Observe:    env.Observe,
 	})
 	if err != nil {
 		return Report{}, err
@@ -196,6 +202,7 @@ func asyncRingReport(res election.AsyncRingResult) Report {
 		Messages:    res.Messages,
 		Time:        res.Time,
 		Faults:      res.Faults,
+		Series:      res.Series,
 	}
 }
 
@@ -264,6 +271,7 @@ func changRobertsConfig(env Env, a election.ChangRobertsArrangement) election.Ch
 		MaxEvents:   env.MaxEvents,
 		Tracer:      env.Tracer,
 		Faults:      env.Faults,
+		Observe:     env.Observe,
 	}
 }
 
@@ -294,6 +302,9 @@ func (p Synchronized) Run(env Env) (Report, error) {
 		return Report{}, err
 	}
 	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectObserve(p.Name()); err != nil {
 		return Report{}, err
 	}
 	kind := p.Kind
@@ -375,6 +386,9 @@ func (p SynchronizedElection) Run(env Env) (Report, error) {
 	if err := env.rejectAdversary(p.Name()); err != nil {
 		return Report{}, err
 	}
+	if err := env.rejectObserve(p.Name()); err != nil {
+		return Report{}, err
+	}
 	// On non-ring topologies the election's tokens must follow the
 	// embedded Hamiltonian cycle, exactly as the native ring protocols do.
 	var ports []int
@@ -439,6 +453,9 @@ func (p ClockSync) Run(env Env) (Report, error) {
 		return Report{}, err
 	}
 	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectObserve(p.Name()); err != nil {
 		return Report{}, err
 	}
 	graph, err := env.graph()
@@ -514,6 +531,9 @@ func (p LiveElection) Run(env Env) (Report, error) {
 		return Report{}, err
 	}
 	if err := env.rejectAdversary(p.Name()); err != nil {
+		return Report{}, err
+	}
+	if err := env.rejectObserve(p.Name()); err != nil {
 		return Report{}, err
 	}
 	if env.Graph != nil && !isUnidirectionalRing(env.Graph) {

@@ -77,6 +77,19 @@ var broadcastCapable = map[string]bool{
 	"ben-or": true,
 }
 
+// observeCapable names the protocols whose engines honour Env.Observe
+// (time-series sampling off the kernel's post-event hook); every other
+// protocol rejects a non-nil config with ErrObserveUnsupported (see
+// Env.rejectObserve) — the round-engine and synchronizer protocols have no
+// kernel event stream to sample.
+var observeCapable = map[string]bool{
+	"election":         true,
+	"chang-roberts":    true,
+	"itai-rodeh-async": true,
+	"peterson":         true,
+	"ben-or":           true,
+}
+
 // NondeterministicRuntime is implemented by protocols whose runs are NOT
 // pure functions of (Env, seed) — the live goroutine runtime, which races
 // real scheduling and wall clocks by design. The capability lives on the
@@ -120,6 +133,9 @@ type Info struct {
 	// SupportsBroadcast reports whether the protocol can run on the
 	// local-broadcast medium (Env.LocalBroadcast).
 	SupportsBroadcast bool `json:"supports_broadcast"`
+	// SupportsObserve reports whether the protocol honours Env.Observe
+	// (time-series sampling).
+	SupportsObserve bool `json:"supports_observe"`
 	// Deterministic reports whether a run is a pure function of
 	// (Env, seed) — false only for the live goroutine runtime.
 	Deterministic bool `json:"deterministic"`
@@ -151,6 +167,7 @@ func ProtocolInfo(name string) (Info, bool) {
 		SupportsFaults:    faultCapable[name],
 		SupportsByzantine: byzantineCapable[name],
 		SupportsBroadcast: broadcastCapable[name],
+		SupportsObserve:   observeCapable[name],
 		Deterministic:     isDeterministic(p),
 	}, true
 }

@@ -6,6 +6,7 @@ import (
 
 	"abenet/internal/core"
 	"abenet/internal/faults"
+	"abenet/internal/probe"
 )
 
 // Report is the common result shape of every protocol run. Fields that do
@@ -45,6 +46,11 @@ type Report struct {
 	// the protocol still terminated correctly (Elected, Leaders,
 	// Violations, Time). Nil when the environment injected no faults.
 	Faults *faults.Telemetry
+	// Series is the time series sampled during the run; nil when the
+	// environment set no Env.Observe. The series is measurement output
+	// only: it never feeds Metrics(), so observed and unobserved runs of
+	// the same (Env, seed) report identical metrics.
+	Series *probe.Series
 	// Extra holds the protocol-specific measurements as one of the typed
 	// *Extra structs in this package, or nil.
 	Extra any

@@ -27,6 +27,7 @@ import (
 	"abenet/internal/dist"
 	"abenet/internal/faults"
 	"abenet/internal/network"
+	"abenet/internal/probe"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
 )
@@ -106,6 +107,16 @@ type Env struct {
 	// with ErrBroadcastUnsupported. Incompatible with Links and with
 	// per-message link faults (Loss/Duplicate/Reorder).
 	LocalBroadcast bool
+	// Observe optionally samples a named time series during the run (see
+	// internal/probe): network gauges plus per-protocol gauges, collected
+	// off the kernel's post-event hook so the run stays byte-identical to
+	// an unobserved one. Honoured by the event-driven network protocols
+	// (election, chang-roberts, itai-rodeh-async, peterson, ben-or); the
+	// round-engine and synchronizer protocols have no event stream to
+	// sample and reject a non-nil config with ErrObserveUnsupported. The
+	// collected series lands in Report.Series and never changes any other
+	// Report field.
+	Observe *probe.Config
 }
 
 // The structured environment-validation errors. Env.Validate wraps each
@@ -127,6 +138,8 @@ var (
 	// environment (a Links factory, or per-message link faults — neither
 	// composes with the radio medium).
 	ErrEnvBroadcast = errors.New("runner: invalid local-broadcast environment")
+	// ErrEnvObserve: the observe config fails probe.Config.Validate.
+	ErrEnvObserve = errors.New("runner: invalid observe config")
 )
 
 // The structured capability-rejection errors: a protocol that cannot
@@ -138,6 +151,9 @@ var (
 	// ErrBroadcastUnsupported: the protocol runs on point-to-point links
 	// only and ignores Env.LocalBroadcast.
 	ErrBroadcastUnsupported = errors.New("runner: protocol does not support the local-broadcast medium")
+	// ErrObserveUnsupported: the protocol has no event stream to sample
+	// and ignores Env.Observe.
+	ErrObserveUnsupported = errors.New("runner: protocol does not support time-series observation")
 )
 
 // Validate checks the environment's internal consistency and returns a
@@ -161,6 +177,9 @@ func (e Env) Validate() error {
 	}
 	if err := e.Byzantine.Validate(n); err != nil {
 		return fmt.Errorf("%w: %v", ErrEnvByzantine, err)
+	}
+	if err := e.Observe.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrEnvObserve, err)
 	}
 	if e.LocalBroadcast {
 		if e.Links != nil {
@@ -231,6 +250,18 @@ func (e Env) rejectAdversary(name string) error {
 	}
 	if e.LocalBroadcast {
 		return fmt.Errorf("%w: %q runs on point-to-point links (ben-or honours Env.LocalBroadcast)", ErrBroadcastUnsupported, name)
+	}
+	return nil
+}
+
+// rejectObserve is the guard protocols without an observable event stream
+// call: silently ignoring an observe config would hand back a report with
+// no series where the caller asked for one. The event-driven network
+// protocols honour Env.Observe; the round-engine and synchronizer
+// protocols (and the live runtime) have no kernel event stream to sample.
+func (e Env) rejectObserve(name string) error {
+	if e.Observe != nil {
+		return fmt.Errorf("%w: %q has no kernel event stream to sample (election, chang-roberts, itai-rodeh-async, peterson and ben-or honour Env.Observe)", ErrObserveUnsupported, name)
 	}
 	return nil
 }

@@ -35,6 +35,9 @@ type HandlerOptions struct {
 	// request fails with 413 instead of buffering an unbounded body into
 	// memory. 0 means 1 MiB — generous for any real scenario spec.
 	MaxBodyBytes int64
+	// Version is the build/version string reported by the full /healthz
+	// response; empty means "dev".
+	Version string
 }
 
 // DefaultMaxBodyBytes is the POST body cap when HandlerOptions leaves
@@ -43,15 +46,21 @@ const DefaultMaxBodyBytes = 1 << 20
 
 // NewHandler returns the service's HTTP API:
 //
-//	POST /v1/runs          submit a scenario ({"spec": ..., "seed", "wait"})
-//	GET  /v1/runs/{id}     job status / result
-//	DELETE /v1/runs/{id}   cancel a job
-//	GET  /v1/protocols     registry metadata (names, options, capabilities)
-//	GET  /healthz          liveness + service counters
+//	POST /v1/runs             submit a scenario ({"spec": ..., "seed", "wait"})
+//	GET  /v1/runs/{id}        job status / result
+//	GET  /v1/runs/{id}/events job progress stream (Server-Sent Events)
+//	DELETE /v1/runs/{id}      cancel a job
+//	GET  /v1/protocols        registry metadata (names, options, capabilities)
+//	GET  /healthz             liveness + service counters (?quick=1: status only)
+//	GET  /metrics             service counters, Prometheus text format
 func NewHandler(svc *Service, hopts HandlerOptions) http.Handler {
 	maxBody := hopts.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
+	}
+	version := hopts.Version
+	if version == "" {
+		version = "dev"
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -141,11 +150,92 @@ func NewHandler(svc *Service, hopts HandlerOptions) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"protocols": runner.Infos()})
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": svc.Stats()})
+	mux.HandleFunc("GET /v1/runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(svc, w, r)
 	})
 
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// quick=1 is the load-balancer probe shape: status only, no lock
+		// acquisition, no counter marshalling.
+		if r.URL.Query().Get("quick") == "1" {
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+			return
+		}
+		stats := svc.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"version":        version,
+			"uptime_seconds": stats.UptimeSeconds,
+			"stats":          stats,
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", metricsHandler(svc))
+
 	return mux
+}
+
+// serveEvents streams a job's progress log as Server-Sent Events: a full
+// replay from sequence 0 (or the Last-Event-ID header, for reconnecting
+// clients), then the live tail. Each event is
+//
+//	id: <seq>
+//	event: <status|point|sample>
+//	data: <the Event, JSON>
+//
+// The stream ends after the terminal status event — clients need no
+// sentinel beyond it — or when the client disconnects; the pulse-channel
+// subscription model registers nothing per subscriber, so a vanished
+// client leaks nothing and never blocks a worker.
+func serveEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	seq := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+			seq = n + 1
+		}
+	}
+	id := r.PathValue("id")
+	// Resolve the job before committing to the event-stream content type so
+	// an unknown id is still a JSON 404.
+	if _, _, _, err := svc.EventsSince(id, seq); errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, pulse, done, err := svc.EventsSince(id, seq)
+		if err != nil {
+			// History retirement evicted the job mid-stream; nothing more
+			// will ever arrive.
+			return
+		}
+		for _, ev := range evs {
+			data, merr := json.Marshal(ev)
+			if merr != nil {
+				return
+			}
+			if _, werr := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); werr != nil {
+				return
+			}
+			seq = ev.Seq + 1
+		}
+		flusher.Flush()
+		if done {
+			return
+		}
+		select {
+		case <-pulse:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // statusCode maps a submission snapshot onto its HTTP code: 200 when the

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abenet/internal/runner"
@@ -148,6 +149,7 @@ type job struct {
 	cacheHits int
 	dedups    int
 	done      chan struct{}
+	events    *eventLog
 }
 
 // view snapshots the job. Callers hold the service mutex.
@@ -178,6 +180,11 @@ type Service struct {
 	opts  Options
 	queue chan *job
 	wg    sync.WaitGroup
+	start time.Time
+
+	// eventsDropped counts progress events discarded past per-job log caps,
+	// service-wide (atomic — event sinks run outside s.mu).
+	eventsDropped int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -187,12 +194,19 @@ type Service struct {
 	history  []string        // finished job ids, oldest first (FIFO retirement)
 	cache    *tieredCache
 	bucket   *tokenBucket // nil = no admission control
+
+	// The monotonic service counters behind Stats and /metrics.
+	submissions       int            // every Submit that passed validation
+	finished          map[Status]int // terminal transitions, by state
+	rejectedQueueFull int
+	rejectedOverload  int
 }
 
 // retireLocked records a job as finished and evicts the oldest finished
 // jobs beyond the history bound. Callers hold s.mu and have just moved j
 // into a terminal state.
 func (s *Service) retireLocked(j *job) {
+	s.finished[j.status]++
 	s.history = append(s.history, j.id)
 	for len(s.history) > s.opts.JobHistory {
 		delete(s.jobs, s.history[0])
@@ -217,8 +231,10 @@ func New(opts Options) *Service {
 	s := &Service{
 		opts:     opts,
 		queue:    make(chan *job, opts.QueueDepth),
+		start:    time.Now(),
 		jobs:     map[string]*job{},
 		inflight: map[string]*job{},
+		finished: map[Status]int{},
 		cache:    newTieredCache(opts.CacheEntries, opts.Persist),
 	}
 	if opts.SubmitRate > 0 {
@@ -274,7 +290,7 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 	if err != nil {
 		return View{}, nil, err
 	}
-	key := fmt.Sprintf("%s@%d", hash, run.Env.Seed)
+	key := fmt.Sprintf("%s@%d%s", hash, run.Env.Seed, observeKey(run.Env.Observe))
 	info, _ := runner.ProtocolInfo(run.Protocol.Name)
 
 	s.mu.Lock()
@@ -282,6 +298,7 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 	if s.closed {
 		return View{}, nil, ErrClosed
 	}
+	s.submissions++
 	if ent := s.cache.get(key); ent != nil {
 		// Served from cache: a done job materialises instantly, and the
 		// hit counter proves no simulation ran.
@@ -290,6 +307,7 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 		j.status = StatusDone
 		j.result = ent.result
 		j.cacheHits = ent.hits
+		j.events.finish(StatusDone, "")
 		close(j.done)
 		s.jobs[j.id] = j
 		s.retireLocked(j)
@@ -310,6 +328,7 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 	// serving them under overload is the point of the cache.
 	if s.bucket != nil {
 		if ok, wait := s.bucket.take(); !ok {
+			s.rejectedOverload++
 			return View{}, nil, &overloadError{retryAfter: wait}
 		}
 	}
@@ -327,6 +346,7 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 	select {
 	case s.queue <- j:
 	default:
+		s.rejectedQueueFull++
 		return View{}, nil, ErrQueueFull
 	}
 	s.jobs[j.id] = j
@@ -340,14 +360,28 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 // register the job in s.jobs themselves (queue-full submits are discarded).
 func (s *Service) newJobLocked(sp *spec.Spec, hash, key string) *job {
 	s.seq++
-	return &job{
+	j := &job{
 		id:     fmt.Sprintf("run-%06d-%s", s.seq, hash[:12]),
 		spec:   sp,
 		hash:   hash,
 		key:    key,
 		status: StatusQueued,
 		done:   make(chan struct{}),
+		events: newEventLog(0, &s.eventsDropped),
 	}
+	j.events.append(Event{Type: EventStatus, Status: StatusQueued}, false)
+	return j
+}
+
+// observeKey is the cache-key suffix for observed submissions. Hash()
+// deliberately excludes the observe block — observation never changes a
+// run's results — but the cached Result payload carries the sampled series,
+// so two submissions differing only in cadence must not share an entry.
+func observeKey(o *spec.ObserveSpec) string {
+	if o == nil {
+		return ""
+	}
+	return fmt.Sprintf("+obs:%d:%g:%d", o.EveryEvents, o.Interval, o.MaxSamples)
 }
 
 // Get snapshots a job by id.
@@ -420,6 +454,7 @@ func (s *Service) Cancel(id string) (View, error) {
 		if s.inflight[j.key] == j {
 			delete(s.inflight, j.key)
 		}
+		j.events.finish(StatusCancelled, "")
 		close(j.done)
 		s.retireLocked(j)
 	case StatusRunning:
@@ -428,7 +463,10 @@ func (s *Service) Cancel(id string) (View, error) {
 			delete(s.inflight, j.key)
 		}
 		// The worker observes the state when the run returns and discards
-		// the result; j.done closes there.
+		// the result; j.done closes there. The event stream seals now —
+		// subscribers should not sit through a run whose result is already
+		// discarded (finish also stops the run's late sample events).
+		j.events.finish(StatusCancelled, "")
 	default:
 		return j.view(), ErrFinished
 	}
@@ -450,21 +488,46 @@ type Stats struct {
 	StoreEntries int `json:"store_entries"`
 	StoreHits    int `json:"store_hits"`
 	StoreErrors  int `json:"store_errors"`
+	// Submissions counts every validated submission (including cache hits
+	// and dedup riders).
+	Submissions int `json:"submissions"`
+	// Done/Failed/Cancelled count terminal job transitions since start.
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// RejectedQueueFull/RejectedOverload count refused submissions, by
+	// reason (queue at capacity vs admission control).
+	RejectedQueueFull int `json:"rejected_queue_full"`
+	RejectedOverload  int `json:"rejected_overload"`
+	// EventsDropped counts progress events discarded past per-job stream
+	// caps, service-wide.
+	EventsDropped int64 `json:"events_dropped"`
+	// UptimeSeconds is the wall-clock age of the service process.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
+	dropped := atomic.LoadInt64(&s.eventsDropped)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Workers:      s.opts.Workers,
-		QueueDepth:   s.opts.QueueDepth,
-		Jobs:         len(s.jobs),
-		CacheEntries: s.cache.len(),
-		MemoryHits:   s.cache.memHits,
-		StoreEntries: s.cache.persistLen(),
-		StoreHits:    s.cache.persistHits,
-		StoreErrors:  s.cache.persistErrs,
+		Workers:           s.opts.Workers,
+		QueueDepth:        s.opts.QueueDepth,
+		Jobs:              len(s.jobs),
+		CacheEntries:      s.cache.len(),
+		MemoryHits:        s.cache.memHits,
+		StoreEntries:      s.cache.persistLen(),
+		StoreHits:         s.cache.persistHits,
+		StoreErrors:       s.cache.persistErrs,
+		Submissions:       s.submissions,
+		Done:              s.finished[StatusDone],
+		Failed:            s.finished[StatusFailed],
+		Cancelled:         s.finished[StatusCancelled],
+		RejectedQueueFull: s.rejectedQueueFull,
+		RejectedOverload:  s.rejectedOverload,
+		EventsDropped:     dropped,
+		UptimeSeconds:     time.Since(s.start).Seconds(),
 	}
 	for _, j := range s.jobs {
 		switch j.status {
@@ -507,8 +570,9 @@ func (s *Service) worker() {
 		}
 		j.status = StatusRunning
 		s.mu.Unlock()
+		j.events.append(Event{Type: EventStatus, Status: StatusRunning}, false)
 
-		res, err := execute(j.spec, s.opts.SweepWorkers)
+		res, err := execute(j, s.opts.SweepWorkers)
 
 		s.mu.Lock()
 		if s.inflight[j.key] == j {
@@ -516,16 +580,19 @@ func (s *Service) worker() {
 		}
 		switch {
 		case j.status == StatusCancelled:
-			// Result discarded; Cancel already removed the inflight entry.
+			// Result discarded; Cancel already removed the inflight entry
+			// and sealed the event stream.
 		case err != nil:
 			j.status = StatusFailed
 			j.err = err.Error()
+			j.events.finish(StatusFailed, j.err)
 		default:
 			j.status = StatusDone
 			j.result = res
 			if j.cacheable {
 				s.cache.put(j.key, res)
 			}
+			j.events.finish(StatusDone, "")
 		}
 		close(j.done)
 		s.retireLocked(j)
@@ -534,21 +601,34 @@ func (s *Service) worker() {
 }
 
 // execute runs one scenario (guarding against engine panics: a served
-// platform must report a bad run, not die with it).
-func execute(sp *spec.Spec, sweepWorkers int) (res *Result, err error) {
+// platform must report a bad run, not die with it), streaming progress into
+// the job's event log: sweep positions as they complete, probe samples as
+// they are taken. Both hooks only append to the log, so the simulation
+// itself stays byte-identical to an unstreamed run.
+func execute(j *job, sweepWorkers int) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("service: run panicked: %v", r)
 		}
 	}()
+	sp := j.spec
 	if sp.Sweep != nil {
-		points, err := sp.RunSweep(sweepWorkers)
+		points, err := sp.RunSweepStream(sweepWorkers, j.pointSink())
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Points: spec.SweepView(points, sp.Sweep.Metrics)}, nil
 	}
-	rep, err := sp.Run()
+	env, proto, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	if env.Observe != nil {
+		// BuildEnv constructed this probe config fresh from the spec, so
+		// attaching the live sink mutates nothing the caller shares.
+		env.Observe.Sink = j.sampleSink()
+	}
+	rep, err := runner.Run(env, proto)
 	if err != nil {
 		return nil, err
 	}

@@ -113,6 +113,7 @@ type Kernel struct {
 	stopped   bool
 	running   bool
 	stopCause string
+	observer  func() // post-event hook; see SetObserver
 }
 
 // New returns an empty kernel at virtual time zero.
@@ -201,6 +202,14 @@ func (k *Kernel) Stop(cause string) {
 	k.stopped = true
 	k.stopCause = cause
 }
+
+// SetObserver installs fn to run immediately after every executed event's
+// handler returns, with the kernel's time and counters already advanced.
+// Observers exist for measurement (time-series probes): they must only
+// read state — scheduling, cancelling, or stopping from an observer would
+// make an observed run diverge from an unobserved one, defeating the
+// byte-identity guarantee the probes depend on. A nil fn removes the hook.
+func (k *Kernel) SetObserver(fn func()) { k.observer = fn }
 
 // StopCause returns the cause passed to the most recent Stop, or "".
 func (k *Kernel) StopCause() string { return k.stopCause }
@@ -294,6 +303,9 @@ func (k *Kernel) execute() {
 	k.now = ev.at
 	k.executed++
 	ev.fn()
+	if k.observer != nil {
+		k.observer()
+	}
 }
 
 // dropDead discards cancelled events sitting at the heap root so the root

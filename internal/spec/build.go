@@ -103,6 +103,13 @@ func (s *Spec) BuildEnv() (runner.Env, error) {
 		env.Byzantine = plan
 	}
 	env.LocalBroadcast = e.LocalBroadcast
+	if e.Observe != nil {
+		cfg, err := e.Observe.Build()
+		if err != nil {
+			return runner.Env{}, err
+		}
+		env.Observe = cfg
+	}
 	return env, nil
 }
 
@@ -182,6 +189,20 @@ func (s *Spec) validate() error {
 			return fmt.Errorf("spec: protocol %q does not support the local-broadcast medium (broadcast-capable: %v)", s.Protocol.Name, capable)
 		}
 	}
+	if s.Env.Observe != nil {
+		if info, ok := runner.ProtocolInfo(s.Protocol.Name); ok && !info.SupportsObserve {
+			var capable []string
+			for _, i := range runner.Infos() {
+				if i.SupportsObserve {
+					capable = append(capable, i.Name)
+				}
+			}
+			return fmt.Errorf("spec: protocol %q does not support time-series observation (observe-capable: %v)", s.Protocol.Name, capable)
+		}
+		if s.Sweep != nil {
+			return errors.New(`spec: "observe" applies to a single run; a sweep streams per-point completions instead — drop one of the two blocks`)
+		}
+	}
 	if sw := s.Sweep; sw != nil {
 		if len(sw.Xs) == 0 {
 			return errors.New(`spec: sweep needs at least one size in "xs"`)
@@ -257,6 +278,16 @@ func (s *Spec) Run() (runner.Report, error) {
 // view-only metrics filter. workersOverride, when positive, replaces
 // Sweep.Workers (a resource hint, not part of the scenario identity).
 func (s *Spec) RunSweep(workersOverride int) ([]harness.Point, error) {
+	return s.RunSweepStream(workersOverride, nil)
+}
+
+// RunSweepStream is RunSweep with a per-position streaming hook: onPoint
+// (when non-nil) receives each position's aggregated, metrics-filtered
+// view as soon as its last repetition completes — the values are identical
+// to the final result's, only the arrival order across positions depends
+// on scheduling. Calls are serialized but come from sweep workers, so the
+// callback must be quick and must not block on the sweep itself.
+func (s *Spec) RunSweepStream(workersOverride int, onPoint func(xIdx int, pv PointView)) ([]harness.Point, error) {
 	if s.Sweep == nil {
 		return nil, errors.New("spec: no sweep block; use Run")
 	}
@@ -284,6 +315,13 @@ func (s *Spec) RunSweep(workersOverride int) ([]harness.Point, error) {
 		Repetitions: s.Sweep.Repetitions,
 		Workers:     workers,
 		Seed:        env.Seed,
+	}
+	if onPoint != nil {
+		keep := s.Sweep.Metrics
+		sweep.OnPoint = func(xIdx int, p harness.Point) {
+			views := SweepView(FilterPoints([]harness.Point{p}, keep), nil)
+			onPoint(xIdx, views[0])
+		}
 	}
 	// Run the spec's own decoded protocol instance — NOT the registry's
 	// zero-value default that RunProtocol(name) would resolve: the options

@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"abenet/internal/probe"
 	"abenet/internal/runner"
 )
 
@@ -99,6 +100,38 @@ type EnvSpec struct {
 	// transmission radio delay and "links" must be unset. Only protocols
 	// reporting supports_broadcast accept it (currently ben-or).
 	LocalBroadcast bool `json:"local_broadcast,omitempty"`
+	// Observe samples a named time series during the run (see
+	// internal/probe); nil collects nothing. Only protocols reporting
+	// supports_observe accept it, and it does not combine with a sweep
+	// block (sweeps stream per-point completions instead). Excluded from
+	// Hash(): observation never changes a run's results — the probe reads
+	// off the kernel's post-event hook, and golden pins hold an observed
+	// run byte-identical to an unobserved one.
+	Observe *ObserveSpec `json:"observe,omitempty"`
+}
+
+// ObserveSpec is the JSON shape of probe.Config: the sampling cadence and
+// the series cap. At least one cadence axis must be set.
+type ObserveSpec struct {
+	// EveryEvents samples after every K-th executed event.
+	EveryEvents uint64 `json:"every_events,omitempty"`
+	// Interval samples at fixed virtual-time intervals.
+	Interval float64 `json:"interval,omitempty"`
+	// MaxSamples caps the stored series; 0 means probe.DefaultMaxSamples.
+	MaxSamples int `json:"max_samples,omitempty"`
+}
+
+// Build constructs the probe configuration the spec describes.
+func (o *ObserveSpec) Build() (*probe.Config, error) {
+	cfg := &probe.Config{
+		EveryEvents: o.EveryEvents,
+		Interval:    o.Interval,
+		MaxSamples:  o.MaxSamples,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: observe: %w", err)
+	}
+	return cfg, nil
 }
 
 // SweepSpec sweeps the spec's protocol over ring sizes through
@@ -280,6 +313,12 @@ func (s *Spec) Clone() (*Spec, error) {
 func (s *Spec) Hash() (string, error) {
 	c := *s
 	c.Env.Seed = 0
+	// The observe block is measurement configuration, not scenario: an
+	// observed run's Report is byte-identical to an unobserved one (minus
+	// the series), so observation must not split the scenario identity.
+	// Serving layers that cache per-run payloads including the series key
+	// on (hash, seed, observe fingerprint) — see service.observeKey.
+	c.Env.Observe = nil
 	if c.Sweep != nil {
 		sw := *c.Sweep
 		sw.Workers = 0

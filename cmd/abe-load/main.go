@@ -291,9 +291,12 @@ func submit(client *http.Client, base string, raw json.RawMessage, seed uint64) 
 
 // scrapeMetrics reads a Prometheus text-format endpoint into a flat
 // series → value map (the metric name with its rendered label set, e.g.
-// `abe_cache_hits_total{tier="memory"}`). Comment and blank lines are
-// skipped; an unparsable sample line is an error — a scrape target that is
-// not actually Prometheus-shaped should fail loudly, not diff as zeros.
+// `abe_cache_hits_total{tier="memory"}`). Sample lines are
+// `name value [timestamp]` — the optional trailing millisecond timestamp
+// is ignored, and label values may contain spaces. Comment and blank lines
+// are skipped; an unparsable sample line is an error — a scrape target
+// that is not actually Prometheus-shaped should fail loudly, not diff as
+// zeros.
 func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -310,15 +313,26 @@ func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) 
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		i := strings.LastIndexByte(line, ' ')
-		if i < 0 {
+		// Split the series name from the trailing fields. Label values may
+		// contain spaces, but never an unescaped `}`, and the value and
+		// timestamp that follow the label set are bare numbers — so the
+		// last `}` on the line closes the label set.
+		var name string
+		var fields []string
+		if i := strings.LastIndexByte(line, '}'); i >= 0 {
+			name = line[:i+1]
+			fields = strings.Fields(line[i+1:])
+		} else if all := strings.Fields(line); len(all) >= 2 {
+			name, fields = all[0], all[1:]
+		}
+		if name == "" || len(fields) < 1 || len(fields) > 2 {
 			return nil, fmt.Errorf("scrape %s: unparsable sample line %q", url, line)
 		}
-		v, err := strconv.ParseFloat(line[i+1:], 64)
+		v, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
 			return nil, fmt.Errorf("scrape %s: sample line %q: %w", url, line, err)
 		}
-		out[strings.TrimSpace(line[:i])] = v
+		out[name] = v
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestScrapeMetricsParsesTextFormat pins the scrape parser against the
+// Prometheus text-format corners -metrics-url can point it at: optional
+// trailing timestamps, label values containing spaces and braces, and
+// comment/blank lines.
+func TestScrapeMetricsParsesTextFormat(t *testing.T) {
+	body := `# HELP abe_jobs_total jobs by state
+# TYPE abe_jobs_total counter
+abe_jobs_total{state="done"} 12
+abe_jobs_total{state="failed"} 0 1691400000000
+abe_cache_hits_total{tier="memory",note="a b}c"} 7.5
+abe_queue_depth 3
+
+abe_uptime_seconds 42.25 1691400000123
+`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(body))
+	}))
+	defer srv.Close()
+
+	got, err := scrapeMetrics(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`abe_jobs_total{state="done"}`:                     12,
+		`abe_jobs_total{state="failed"}`:                   0,
+		`abe_cache_hits_total{tier="memory",note="a b}c"}`: 7.5,
+		"abe_queue_depth":                                  3,
+		"abe_uptime_seconds":                               42.25,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scraped %d series, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("series %q = %g, want %g", k, got[k], v)
+		}
+	}
+}
+
+// TestScrapeMetricsRejectsNonPrometheus: a target that is not actually
+// Prometheus-shaped must fail loudly, not diff as zeros.
+func TestScrapeMetricsRejectsNonPrometheus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+	if _, err := scrapeMetrics(srv.Client(), srv.URL); err == nil {
+		t.Fatal("JSON body scraped without error")
+	}
+
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("abe_x 1 2 3\n"))
+	}))
+	defer srv2.Close()
+	if _, err := scrapeMetrics(srv2.Client(), srv2.URL); err == nil {
+		t.Fatal("sample line with trailing garbage scraped without error")
+	}
+}
+
+// TestMetricDeltas pins the diff: only moved series survive, and series
+// absent from the first scrape count from zero.
+func TestMetricDeltas(t *testing.T) {
+	before := map[string]float64{"a": 1, "b": 5}
+	after := map[string]float64{"a": 4, "b": 5, "c": 2}
+	got := metricDeltas(before, after)
+	want := map[string]float64{"a": 3, "c": 2}
+	if len(got) != len(want) || got["a"] != 3 || got["c"] != 2 {
+		t.Fatalf("deltas = %v, want %v", got, want)
+	}
+}

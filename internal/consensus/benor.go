@@ -220,7 +220,11 @@ func (p benorProbe) ProbeGauges() []probe.Gauge {
 			}
 			return float64(min)
 		}},
-		{Name: "phase_max", Read: func() float64 {
+		// lead_phase is the phase of the node at the (round, phase)
+		// frontier — the lexicographically greatest progress point — not
+		// the maximum phase over all nodes: a node at (round 5, phase 0)
+		// leads one at (round 4, phase 1), so the gauge reads 0.
+		{Name: "lead_phase", Read: func() float64 {
 			var round int32
 			var phase int8
 			for _, nd := range p.nodes {

@@ -26,7 +26,8 @@ import (
 )
 
 // DefaultMaxSamples bounds a series when Config.MaxSamples is zero.
-// Samples past the cap are counted in Series.Truncated, not stored.
+// Cadence samples past the cap are counted in Series.Truncated, not
+// stored; the closing sample taken by Final is exempt from the cap.
 const DefaultMaxSamples = 100_000
 
 // Gauge is one named instantaneous reading. Read must be cheap, must not
@@ -53,8 +54,10 @@ type Config struct {
 	// Interval samples at fixed virtual-time intervals: the first event
 	// executed at or after each multiple of Interval triggers a sample.
 	Interval float64 `json:"interval,omitempty"`
-	// MaxSamples caps the stored series; 0 means DefaultMaxSamples.
-	// Samples past the cap are dropped and counted in Series.Truncated.
+	// MaxSamples caps the stored cadence samples; 0 means
+	// DefaultMaxSamples. Cadence samples past the cap are dropped and
+	// counted in Series.Truncated; the closing sample recorded by Final
+	// is exempt, so a series holds at most MaxSamples+1 rows.
 	MaxSamples int `json:"max_samples,omitempty"`
 
 	// Sink, when non-nil, receives every recorded sample as it is taken
@@ -101,8 +104,9 @@ type Series struct {
 	Names []string `json:"names"`
 	// Samples are the recorded rows, in sampling order.
 	Samples []Sample `json:"samples"`
-	// Truncated counts samples dropped after MaxSamples was reached. A
-	// non-zero value means the series is a prefix, not the whole run.
+	// Truncated counts cadence samples dropped after MaxSamples was
+	// reached. A non-zero value means the stored rows are a prefix plus
+	// the end-of-run closing sample, not the whole run.
 	Truncated int `json:"truncated,omitempty"`
 }
 
@@ -182,20 +186,30 @@ func (c *Collector) Observe(now simtime.Time, executed uint64) {
 		due = true
 		// Advance past now so a burst of same-instant events yields one
 		// sample, and a long delivery gap yields one sample, not a
-		// backlog of catch-up rows.
-		step := simtime.Duration(c.cfg.Interval)
-		for !now.Before(c.nextTime) {
-			c.nextTime = c.nextTime.Add(step)
+		// backlog of catch-up rows. The next due instant is computed
+		// arithmetically: stepping one interval per missed tick would cost
+		// O(gap/Interval), and once Interval drops below the float ULP of
+		// now the step stops advancing nextTime at all.
+		k := math.Floor(float64(now)/c.cfg.Interval) + 1
+		next := simtime.Time(k * c.cfg.Interval)
+		if !now.Before(next) {
+			// Interval is within rounding error of now's ULP; the smallest
+			// representable instant after now keeps the cadence progressing.
+			next = simtime.Time(math.Nextafter(float64(now), math.Inf(1)))
 		}
+		c.nextTime = next
 	}
 	if due {
-		c.record(now, executed)
+		c.record(now, executed, false)
 	}
 }
 
 // Final records one closing sample of the end-of-run state (unless the
 // cadence already sampled at exactly this point) and freezes the
-// collector. Engines call it once after the kernel drains or stops.
+// collector. Engines call it once after the kernel drains or stops. The
+// closing sample is exempt from the MaxSamples cap — a truncated series
+// still ends with the end-of-run reading — so a series holds at most
+// MaxSamples cadence rows plus one closing row.
 func (c *Collector) Final(now simtime.Time, executed uint64) {
 	if c.finalized {
 		return
@@ -204,12 +218,13 @@ func (c *Collector) Final(now simtime.Time, executed uint64) {
 	if n := len(c.samples); n > 0 && c.samples[n-1].Event == executed && c.truncated == 0 {
 		return
 	}
-	c.record(now, executed)
+	c.record(now, executed, true)
 }
 
-// record appends one sample (or counts it as truncated past the cap).
-func (c *Collector) record(now simtime.Time, executed uint64) {
-	if len(c.samples) >= c.max {
+// record appends one sample (or, past the cap, counts it as truncated —
+// unless it is the cap-exempt closing sample).
+func (c *Collector) record(now simtime.Time, executed uint64, closing bool) {
+	if len(c.samples) >= c.max && !closing {
 		c.truncated++
 		return
 	}

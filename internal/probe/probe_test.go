@@ -109,21 +109,49 @@ func TestFinalRecordsClosingSample(t *testing.T) {
 	}
 }
 
-// TestTruncation pins the cap: stored samples are a prefix and the overflow
-// is counted, including the final sample.
+// TestTruncation pins the cap: stored cadence samples are a prefix and the
+// overflow is counted, but the closing sample is cap-exempt so a truncated
+// series still ends with the end-of-run state.
 func TestTruncation(t *testing.T) {
 	v := 0.0
 	c, _ := NewCollector(Config{EveryEvents: 1, MaxSamples: 2}, counterObs("x", &v))
 	for e := uint64(1); e <= 5; e++ {
 		c.Observe(simtime.Time(float64(e)), e)
 	}
+	v = 7
 	c.Final(simtime.Time(6), 6)
 	s := c.Series()
-	if len(s.Samples) != 2 || s.Truncated != 4 {
-		t.Fatalf("samples/truncated = %d/%d, want 2/4", len(s.Samples), s.Truncated)
+	if len(s.Samples) != 3 || s.Truncated != 3 {
+		t.Fatalf("samples/truncated = %d/%d, want 2 cadence rows + closing row / 3 dropped", len(s.Samples), s.Truncated)
 	}
 	if s.Samples[1].Event != 2 {
 		t.Fatalf("stored samples are not the prefix: %+v", s.Samples)
+	}
+	if last := s.Samples[2]; last.Event != 6 || last.Values[0] != 7 {
+		t.Fatalf("closing sample = %+v, want event 6 with the end-of-run reading", last)
+	}
+}
+
+// TestTinyIntervalTerminates is a regression pin: advancing the interval
+// cadence must be O(1), not one step per missed tick — an interval smaller
+// than the float ULP of the current virtual time used to make the
+// catch-up loop spin forever (nextTime.Add(step) == nextTime).
+func TestTinyIntervalTerminates(t *testing.T) {
+	v := 0.0
+	c, err := NewCollector(Config{Interval: 1e-15}, counterObs("x", &v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=8 the ULP of a float64 is ~8.9e-16 > 1e-15·(1-ε)… close enough
+	// that k·interval can round back to t; at t=1e6 it certainly does.
+	c.Observe(simtime.Time(8), 1)
+	c.Observe(simtime.Time(1e6), 2)
+	c.Observe(simtime.Time(1e6), 3) // same instant: cadence must have advanced past now
+	if c.Len() != 2 {
+		t.Fatalf("samples = %d, want one per distinct instant", c.Len())
+	}
+	if !c.nextTime.After(simtime.Time(1e6)) {
+		t.Fatalf("nextTime = %v did not advance past now", c.nextTime)
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 	"abenet/internal/experiments"
 )
 
-// One benchmark per experiment (E1..E14, DESIGN.md §5 plus the PR 3 fault
+// One benchmark per experiment (E1..E15, DESIGN.md §5 plus the PR 3 fault
 // suite). Each iteration
 // executes the experiment in its reduced (Quick) configuration — the full
 // configurations are run by cmd/abe-bench, which regenerates the tables
@@ -93,6 +93,10 @@ func BenchmarkE13LossResilience(b *testing.B) {
 
 func BenchmarkE14ByzantineBroadcast(b *testing.B) {
 	benchExperiment(b, experiments.E14ByzantineBroadcast)
+}
+
+func BenchmarkE15CausalDepth(b *testing.B) {
+	benchExperiment(b, experiments.E15CausalDepth)
 }
 
 // ---- Micro-benchmarks of the core building blocks ----

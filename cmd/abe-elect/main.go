@@ -7,7 +7,8 @@
 //	abe-elect [-proto election] [-topo ring] [-n 16] [-a0 0] [-seed 1]
 //	          [-delay exp|det|uniform|pareto|arq] [-mean 1] [-drift 1]
 //	          [-gamma 0] [-loss 0] [-crash 0] [-recover 0] [-horizon 0]
-//	          [-trace] [-check] [-live] [-json]
+//	          [-trace] [-trace-out FILE] [-trace-format chrome|jsonl|text]
+//	          [-check] [-live] [-json]
 //	abe-elect -spec scenario.json [-seed N] [-workers N] [-dry-run] [-json]
 //
 // -proto accepts any registered protocol name (see -list); -topo accepts
@@ -16,6 +17,16 @@
 // (message loss, node churn) into fault-capable protocols; lossy runs are
 // bounded by -horizon, which defaults to 1000·δ when faults are injected
 // so a deadlocked election terminates the simulation instead of the user.
+//
+// -trace records every kernel event (sends, deliveries, timers, the
+// decision) as a causal forest — each event carries a Lamport clock and a
+// happens-before parent edge — and prints it with a critical-path summary.
+// -trace-out writes the trace to FILE instead: -trace-format chrome (the
+// default) is Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing with one track per node and flow arrows for message
+// edges; jsonl is one event per line for stream processing; text is the
+// human dump. Tracing is observational only: a traced run's report is
+// byte-identical to the untraced run's.
 //
 // -spec runs a declarative scenario file (the internal/spec JSON schema)
 // through exactly the same runner.Run path as the flags — and as
@@ -39,6 +50,7 @@ import (
 	"abenet/internal/simtime"
 	"abenet/internal/spec"
 	"abenet/internal/trace"
+	"abenet/internal/trace/causal"
 )
 
 func main() {
@@ -46,12 +58,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abe-elect:", err)
 		os.Exit(1)
 	}
-}
-
-// traceable names the protocols with an event stream to trace.
-var traceable = map[string]bool{
-	"election": true, "itai-rodeh-async": true,
-	"chang-roberts": true, "peterson": true,
 }
 
 func run() error {
@@ -71,7 +77,9 @@ func run() error {
 	equivocate := flag.Int("equivocate", 0, "make nodes 0..k-1 Byzantine equivocators (honoured by ben-or)")
 	broadcast := flag.Bool("broadcast", false, "atomic local-broadcast medium instead of point-to-point links (honoured by ben-or)")
 	horizon := flag.Float64("horizon", 0, "virtual-time bound (0 = unbounded, or 1000·δ when faults are on)")
-	withTrace := flag.Bool("trace", false, "print the full message trace")
+	withTrace := flag.Bool("trace", false, "print the full causal trace")
+	traceOut := flag.String("trace-out", "", "write the causal trace to FILE (implies tracing)")
+	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome, jsonl or text (with -trace-out)")
 	obsEvery := flag.Uint64("observe-every", 0, "sample a time series every K executed events (observe-capable protocols)")
 	obsInterval := flag.Float64("observe-interval", 0, "sample a time series every T virtual time units")
 	obsMax := flag.Int("observe-max", 0, "cap on stored samples (0 = 100000)")
@@ -86,6 +94,15 @@ func run() error {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	switch *traceFormat {
+	case "chrome", "jsonl", "text":
+	default:
+		return fmt.Errorf("unknown -trace-format %q (chrome, jsonl or text)", *traceFormat)
+	}
+	if set["trace-format"] && *traceOut == "" {
+		return fmt.Errorf("-trace-format picks the -trace-out file format; set -trace-out FILE (plain -trace always prints text)")
+	}
 
 	if *list {
 		for _, name := range abenet.Protocols() {
@@ -102,6 +119,9 @@ func run() error {
 	if *liveMode && (set["observe-every"] || set["observe-interval"]) {
 		return fmt.Errorf("-live cannot be combined with -observe-every/-observe-interval: the live goroutine runtime has no event kernel to sample")
 	}
+	if *liveMode && (*withTrace || *traceOut != "") {
+		return fmt.Errorf("-live cannot be combined with -trace/-trace-out: the live goroutine runtime has no event kernel to trace")
+	}
 
 	if *specPath != "" {
 		// A spec file states the whole scenario; flags that would fight it
@@ -117,13 +137,13 @@ func run() error {
 		}
 		if len(clash) > 0 {
 			sort.Strings(clash)
-			return fmt.Errorf("-spec states the scenario; drop %v (only -seed, -trace, -workers, -observe-csv, -json and -dry-run combine with it)", clash)
+			return fmt.Errorf("-spec states the scenario; drop %v (only -seed, -trace, -trace-out, -trace-format, -workers, -observe-csv, -json and -dry-run combine with it)", clash)
 		}
 		var seedOverride *uint64
 		if set["seed"] {
 			seedOverride = seed
 		}
-		return runSpec(*specPath, seedOverride, *workers, *dryRun, *withTrace, *jsonOut, *obsCSV)
+		return runSpec(*specPath, seedOverride, *workers, *dryRun, *withTrace, *jsonOut, *obsCSV, *traceOut, *traceFormat)
 	}
 	if *dryRun {
 		return fmt.Errorf("-dry-run requires -spec")
@@ -230,9 +250,8 @@ func run() error {
 		return fmt.Errorf("-check supports n <= 5 (state space), got %d", *n)
 	}
 
-	rec, err := newRecorder(*withTrace, *proto, &env)
-	if err != nil {
-		return err
+	if *withTrace || *traceOut != "" {
+		env.Trace = &trace.Config{}
 	}
 
 	rep, err := abenet.Run(env, protocol)
@@ -240,7 +259,12 @@ func run() error {
 		return err
 	}
 
-	if err := flushTrace(rec, *jsonOut); err != nil {
+	// Lift the trace off the report: the JSON document summarises it (the
+	// full export goes to -trace-out / the text dump), and the report stays
+	// the same value an untraced run produces.
+	exp := rep.Trace
+	rep.Trace = nil
+	if err := emitTrace(exp, *withTrace, *traceOut, *traceFormat, *jsonOut); err != nil {
 		return err
 	}
 	if err := writeSeriesCSV(rep.Series, *obsCSV, *jsonOut); err != nil {
@@ -260,8 +284,8 @@ func run() error {
 
 	if *jsonOut {
 		out := reportJSON(rep, "")
-		if rec != nil {
-			out["trace"] = traceJSON(rec)
+		if exp != nil {
+			out["trace"] = traceJSON(exp)
 		}
 		if check != nil {
 			out["model_check"] = map[string]any{
@@ -274,6 +298,7 @@ func run() error {
 		return encodeJSON(out)
 	}
 	printReport(rep, *topo, size)
+	printTraceSummary(exp, *traceOut)
 	if check != nil {
 		verdict := "SAFE (exhaustive within 2 activations/node)"
 		if !check.OK() {
@@ -286,7 +311,7 @@ func run() error {
 }
 
 // runSpec executes (or just validates) a scenario file.
-func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, jsonOut bool, obsCSV string) error {
+func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, jsonOut bool, obsCSV, traceOut, traceFormat string) error {
 	s, err := spec.DecodeFile(path)
 	if err != nil {
 		return err
@@ -324,8 +349,8 @@ func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, 
 	}
 
 	if s.Sweep != nil {
-		if withTrace {
-			return fmt.Errorf("-trace applies to single runs, not sweeps")
+		if withTrace || traceOut != "" {
+			return fmt.Errorf("-trace/-trace-out apply to single runs, not sweeps")
 		}
 		points, err := s.RunSweep(workers)
 		if err != nil {
@@ -348,15 +373,18 @@ func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, 
 	if err != nil {
 		return err
 	}
-	rec, err := newRecorder(withTrace, s.Protocol.Name, &env)
-	if err != nil {
-		return err
+	// The flags imply tracing even when the spec file carries no trace
+	// block; a spec block's cap wins when both are present.
+	if (withTrace || traceOut != "") && env.Trace == nil {
+		env.Trace = &trace.Config{}
 	}
 	rep, err := abenet.Run(env, protocol)
 	if err != nil {
 		return err
 	}
-	if err := flushTrace(rec, jsonOut); err != nil {
+	exp := rep.Trace
+	rep.Trace = nil
+	if err := emitTrace(exp, withTrace, traceOut, traceFormat, jsonOut); err != nil {
 		return err
 	}
 	if err := writeSeriesCSV(rep.Series, obsCSV, jsonOut); err != nil {
@@ -364,8 +392,8 @@ func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, 
 	}
 	if jsonOut {
 		out := reportJSON(rep, hash)
-		if rec != nil {
-			out["trace"] = traceJSON(rec)
+		if exp != nil {
+			out["trace"] = traceJSON(exp)
 		}
 		return encodeJSON(out)
 	}
@@ -379,49 +407,83 @@ func runSpec(path string, seedOverride *uint64, workers int, dryRun, withTrace, 
 	}
 	fmt.Printf("spec                : %s (hash %s)\n", path, hash[:12])
 	printReport(rep, label, size)
+	printTraceSummary(exp, traceOut)
 	return nil
 }
 
-// newRecorder attaches a trace recorder to the environment when requested.
-func newRecorder(withTrace bool, proto string, env *abenet.Env) (*trace.Recorder, error) {
-	if !withTrace {
-		return nil, nil
-	}
-	// Only the event-driven protocols have a message stream to trace.
-	if !traceable[proto] {
-		return nil, fmt.Errorf("-trace is not supported for %q (round-engine and synchronizer protocols have no event stream)", proto)
-	}
-	rec := trace.NewRecorder(0)
-	env.Tracer = rec
-	return rec, nil
-}
-
-// flushTrace prints the recorded trace, if any. Under -json the trace goes
-// to stderr so stdout stays one parseable JSON value.
-func flushTrace(rec *trace.Recorder, jsonOut bool) error {
-	if rec == nil {
+// emitTrace renders the exported trace: the text dump for -trace (to
+// stderr under -json so stdout stays one parseable value) and the chosen
+// file format for -trace-out.
+func emitTrace(exp *trace.Export, withTrace bool, traceOut, traceFormat string, jsonOut bool) error {
+	if exp == nil {
 		return nil
 	}
-	dest := io.Writer(os.Stdout)
-	if jsonOut {
-		dest = os.Stderr
+	if withTrace {
+		dest := io.Writer(os.Stdout)
+		if jsonOut {
+			dest = os.Stderr
+		}
+		if err := trace.WriteText(dest, exp); err != nil {
+			return err
+		}
+		fmt.Fprintln(dest)
 	}
-	if _, err := rec.WriteTo(dest); err != nil {
+	if traceOut == "" {
+		return nil
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintln(dest)
-	return nil
+	switch traceFormat {
+	case "chrome":
+		err = trace.WriteChrome(f, exp)
+	case "jsonl":
+		err = trace.WriteJSONL(f, exp)
+	case "text":
+		err = trace.WriteText(f, exp)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
-// traceJSON summarises the recorded trace for the JSON document — in
-// particular whether the recorder's cap truncated it, which the text mode
-// surfaces with WriteTo's closing line.
-func traceJSON(rec *trace.Recorder) map[string]any {
-	d := rec.Dropped()
+// traceJSON summarises the trace for the JSON document: the recorder
+// counters plus the causal analysis (critical path to the decision,
+// relay-depth maximum) — the full event list lives in -trace-out, not here.
+func traceJSON(exp *trace.Export) map[string]any {
 	return map[string]any{
-		"events":    rec.Len(),
-		"dropped":   d,
-		"truncated": d > 0,
+		"events":    len(exp.Events),
+		"dropped":   exp.Dropped,
+		"truncated": exp.Dropped > 0,
+		"causal":    causal.Summarize(exp),
+	}
+}
+
+// printTraceSummary renders the causal analysis under the report: the
+// critical path — the longest happens-before chain ending at the decision —
+// split into message-delay and local time, and the deepest relay chain.
+func printTraceSummary(exp *trace.Export, traceOut string) {
+	if exp == nil {
+		return
+	}
+	s := causal.Summarize(exp)
+	line := fmt.Sprintf("trace               : %d events", s.Events)
+	if s.Dropped > 0 {
+		line += fmt.Sprintf(" (%d more dropped past the cap)", s.Dropped)
+	}
+	fmt.Println(line)
+	target := "deepest event"
+	if s.Decision != 0 {
+		target = "decision"
+	}
+	fmt.Printf("critical path       : %d edges (%d hops) to the %s — %.3f virtual time (%.3f message delay, %.3f local)\n",
+		s.PathLen, s.Hops, target, s.Time, s.MessageTime, s.LocalTime)
+	fmt.Printf("max relay depth     : %d\n", s.MaxHopDepth)
+	if traceOut != "" {
+		fmt.Printf("trace written       : %s\n", traceOut)
 	}
 }
 

@@ -9,12 +9,14 @@
 //	abe-serve [-addr :8080] [-workers 2] [-sweep-workers 0]
 //	          [-queue 64] [-cache 1024] [-store DIR]
 //	          [-max-body 1048576] [-submit-rate 0] [-submit-burst 0]
+//	          [-log-format text|json] [-pprof ADDR]
 //
 // API:
 //
 //	POST   /v1/runs             {"spec": {...}, "seed": 7, "wait": true}
 //	GET    /v1/runs/{id}        job status / result
 //	GET    /v1/runs/{id}/events progress stream (Server-Sent Events)
+//	GET    /v1/runs/{id}/trace  causal trace (?format=chrome|jsonl|text)
 //	DELETE /v1/runs/{id}        cancel
 //	GET    /v1/protocols        registry metadata (names, options, capabilities)
 //	GET    /healthz             liveness + counters (?quick=1: status only)
@@ -26,6 +28,12 @@
 //	curl -s localhost:8080/v1/runs -d '{"spec": '"$(cat examples/specs/election_ring.json)"', "wait": true}'
 //	curl -N localhost:8080/v1/runs/<id>/events   # follow a job live
 //	curl -s localhost:8080/metrics               # scrape the counters
+//
+// -pprof starts the net/http/pprof handlers on their own listener (and only
+// there — nothing pprof-related is ever mounted on the public -addr mux):
+//
+//	abe-serve -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -34,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,7 +56,7 @@ import (
 
 // version is the build string /healthz reports; release builds override it
 // with -ldflags "-X main.version=...".
-var version = "0.8.0-dev"
+var version = "0.9.0-dev"
 
 func main() {
 	if err := run(); err != nil {
@@ -65,7 +75,20 @@ func run() error {
 	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "POST body byte cap (requests beyond it get 413)")
 	submitRate := flag.Float64("submit-rate", 0, "admission control: sustained fresh submissions/sec (0 = unlimited)")
 	submitBurst := flag.Int("submit-burst", 0, "admission control burst (0 = 2×rate)")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty = off)")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	var persist store.Store[*service.Result]
 	if *storeDir != "" {
@@ -88,8 +111,9 @@ func run() error {
 	})
 
 	server := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(svc, service.HandlerOptions{MaxBodyBytes: *maxBody, Version: version}),
+		Addr: *addr,
+		Handler: service.RequestLogger(logger,
+			service.NewHandler(svc, service.HandlerOptions{MaxBodyBytes: *maxBody, Version: version})),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -97,6 +121,27 @@ func run() error {
 	defer stop()
 
 	errc := make(chan error, 1)
+
+	// The profiling endpoints live on their own mux and listener: explicit
+	// handler registration (never http.DefaultServeMux, which package pprof
+	// pollutes on import) keeps them off the public API surface entirely.
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer = &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("abe-serve: pprof on %s", *pprofAddr)
+			if err := pprofServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("pprof listener: %w", err)
+			}
+		}()
+	}
+
 	go func() {
 		log.Printf("abe-serve: listening on %s", *addr)
 		errc <- server.ListenAndServe()
@@ -111,6 +156,9 @@ func run() error {
 	log.Print("abe-serve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if pprofServer != nil {
+		_ = pprofServer.Shutdown(shutdownCtx)
+	}
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

@@ -50,6 +50,11 @@ type HopMessage struct {
 	Epoch int
 }
 
+// HopCount exposes the relay counter to the causal tracer (trace.HopCarrier):
+// a token relayed over k consecutive hops carries Hop ≥ k, which the
+// trace/causal analysis checks against the measured chain length.
+func (m HopMessage) HopCount() int { return m.Hop }
+
 // tickTimer is the kind of the per-node wake-up timer.
 const tickTimer = 1
 

@@ -22,6 +22,9 @@ type iraMessage struct {
 	Dirty bool
 }
 
+// HopCount exposes the hop counter to the causal tracer (trace.HopCarrier).
+func (m iraMessage) HopCount() int { return m.Hop }
+
 // ItaiRodehAsyncNode is the classic Itai–Rodeh election for anonymous
 // asynchronous unidirectional rings of known size n with FIFO channels.
 //

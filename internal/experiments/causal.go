@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abenet/internal/core"
+	"abenet/internal/dist"
+	"abenet/internal/harness"
+	"abenet/internal/runner"
+	"abenet/internal/topology"
+	"abenet/internal/trace"
+	"abenet/internal/trace/causal"
+)
+
+// E15CausalDepth validates the paper's relay bound on the causal trace
+// itself: Section 2's protocol forwards a token at most d+1 times (d the
+// diameter of the election ring), so in the happens-before forest no
+// deliver→send→deliver relay chain may grow deeper than d+1 — and each
+// message's own hop counter must never undercount the chain that produced
+// it. The election runs along the embedded Hamiltonian cycle of every
+// topology, so the bound is the cycle length n = d+1 regardless of the
+// host graph.
+//
+// Each cell traces full runs (Env.Trace), feeds the exported forest to
+// causal.Analyze, and checks CheckHopBound(n) — the invariant as code. The
+// critical-path split (message delay vs local queueing along the longest
+// chain to the decision) rides along per cell: under heavy-tail Pareto
+// delays the message share of the path grows while the bound still holds,
+// which is exactly the ABE premise (only E[delay] is bounded, yet the
+// causal structure stays finite).
+func E15CausalDepth(opt Options) (Result, error) {
+	res := Result{
+		ID:    "E15",
+		Claim: "causal relay depth never exceeds d+1 = n on the election ring, for every topology and delay shape (incl. heavy-tail Pareto)",
+	}
+
+	topologies := []struct {
+		name  string
+		graph *topology.Graph
+		n     int
+	}{
+		{"ring-16", nil, 16},
+		{"hypercube-16", topology.Hypercube(4), 16},
+		{"complete-12", topology.Complete(12), 12},
+	}
+	delays := []dist.Dist{
+		dist.NewExponential(1),
+		dist.NewUniform(0, 2),
+		dist.ParetoWithMean(1, 2), // heavy tail: infinite variance, mean 1
+	}
+
+	table := harness.NewTable(
+		"E15: measured causal relay depth vs the d+1 bound (traced elections)",
+		"topology", "delay", "bound d+1", "max depth", "mean depth", "path hops", "msg-time share", "violations")
+
+	reps := opt.reps(30)
+	findings := Findings{}
+	violations := 0
+	worstSlack := 1.0 // min over cells of bound/maxDepth; >= 1 iff the bound held everywhere
+	for ti, topo := range topologies {
+		bound := topo.n // d = n-1 on the embedded cycle
+		for di, d := range delays {
+			var maxDepth, sumDepth, pathHops, cellViolations int
+			var msgShare float64
+			for rep := 0; rep < reps; rep++ {
+				env := runner.Env{
+					N:     topo.n,
+					Graph: topo.graph,
+					Delay: d,
+					Seed:  opt.Seed + uint64(ti*len(delays)+di)*104729 + uint64(rep)*7919,
+					Trace: &trace.Config{},
+				}
+				if topo.graph != nil {
+					env.N = 0
+				}
+				r, err := runner.Run(env, runner.Election{A0: core.DefaultA0(topo.n)})
+				if err != nil {
+					return res, err
+				}
+				if err := runner.RequireElected(r); err != nil {
+					return res, fmt.Errorf("e15 %s/%s rep %d: %w", topo.name, d.Name(), rep, err)
+				}
+				a := causal.Analyze(r.Trace)
+				cellViolations += len(a.CheckHopBound(bound))
+				depth := a.MaxHopDepth()
+				sumDepth += depth
+				if depth > maxDepth {
+					maxDepth = depth
+				}
+				if p := a.CriticalPath(); p != nil {
+					pathHops += p.Hops
+					if p.Total > 0 {
+						msgShare += p.MessageTime / p.Total
+					}
+				}
+			}
+			violations += cellViolations
+			if slack := float64(bound) / float64(maxDepth); slack < worstSlack {
+				worstSlack = slack
+			}
+			table.AddRow(topo.name, d.Name(),
+				fmt.Sprintf("%d", bound),
+				fmt.Sprintf("%d", maxDepth),
+				fmt.Sprintf("%.2f", float64(sumDepth)/float64(reps)),
+				fmt.Sprintf("%.1f", float64(pathHops)/float64(reps)),
+				fmt.Sprintf("%.0f%%", 100*msgShare/float64(reps)),
+				fmt.Sprintf("%d", cellViolations),
+			)
+		}
+	}
+
+	findings["violations"] = float64(violations)
+	findings["worst_bound_slack"] = worstSlack
+	res.Table = table
+	res.Findings = findings
+	res.Pass = violations == 0 && worstSlack >= 1
+	return res, nil
+}

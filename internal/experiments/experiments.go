@@ -1,4 +1,4 @@
-// Package experiments defines the full reproduction suite E1..E14 derived
+// Package experiments defines the full reproduction suite E1..E15 derived
 // from every quantitative claim in the paper (see DESIGN.md §5 for the
 // claim-to-experiment mapping). Each experiment returns a rendered table —
 // the "rows the paper reports" — plus headline findings used by the
@@ -37,7 +37,7 @@ type Findings map[string]float64
 
 // Result bundles one experiment's outputs.
 type Result struct {
-	// ID is the experiment identifier (E1..E14).
+	// ID is the experiment identifier (E1..E15).
 	ID string
 	// Claim is the paper statement under test.
 	Claim string
@@ -84,6 +84,7 @@ func All() []Experiment {
 		{"E12", "processing-time robustness", E12Processing},
 		{"E13", "election under loss (plain vs ARQ)", E13LossResilience},
 		{"E14", "byzantine consensus: point-to-point vs local broadcast", E14ByzantineBroadcast},
+		{"E15", "causal relay depth vs the d+1 bound", E15CausalDepth},
 	}
 }
 

@@ -43,12 +43,61 @@ type Node interface {
 	OnTimer(ctx *Context, kind int)
 }
 
-// Tracer observes network events. Implementations must not mutate protocol
-// state. A nil Tracer disables tracing.
+// EventID identifies one recorded trace event. IDs are assigned by the
+// Tracer implementation; 0 means "no event" (an untraced cause, or a root
+// event with no recorded parent).
+type EventID int64
+
+// TraceRef names a recorded trace event together with its Lamport clock.
+// The network threads refs through the causal chain — each Tracer callback
+// receives the ref of the event that caused the one being recorded, and
+// returns the ref of the event it recorded — so attribution is exact: a
+// delivery is parented to the send that produced it (the ref rides across
+// the link with the payload), and a send or timer is parented to the
+// delivery or timer the node was processing when it emitted it. Carrying
+// the Lamport clock inside the ref lets an implementation merge clocks on
+// delivery without keeping per-event state alive past its storage cap.
+// The zero TraceRef marks a causal root (e.g. a send from Node.Init).
+type TraceRef struct {
+	ID      EventID
+	Lamport uint64
+}
+
+// Tracer observes network events and assigns each a causal identity.
+// Implementations must not mutate protocol state, and must not schedule or
+// cancel kernel events — a traced run must stay byte-identical to an
+// untraced one. A nil Tracer disables tracing. Each method returns the ref
+// of the event it recorded so the network can hand it to causally
+// downstream events; cause (resp. send, parent) is the ref of the event
+// that led to this one, zero for causal roots.
 type Tracer interface {
-	MessageSent(at simtime.Time, from, to int, payload any)
-	MessageDelivered(at simtime.Time, from, to int, payload any)
-	TimerFired(at simtime.Time, node, kind int)
+	// MessageSent records a logical send from node from to node to (-1 for
+	// a radio broadcast). cause is the event the sender was processing.
+	MessageSent(at simtime.Time, from, to int, payload any, cause TraceRef) TraceRef
+	// MessageDelivered records a delivery; send is the ref returned by the
+	// MessageSent that produced this payload (zero if the payload predates
+	// tracing, which cannot happen under a Tracer fixed at construction).
+	MessageDelivered(at simtime.Time, from, to int, payload any, send TraceRef) TraceRef
+	// TimerFired records a local timer firing; cause is the event the node
+	// was processing when it set the timer.
+	TimerFired(at simtime.Time, node, kind int, cause TraceRef) TraceRef
+	// Decision records the protocol's terminal event: a node stopped the
+	// network (Context.StopNetwork), e.g. because a leader was elected.
+	// cause is the event being processed when the protocol decided.
+	Decision(at simtime.Time, node int, reason string, cause TraceRef) TraceRef
+}
+
+// tracedPayload tags a payload crossing a link with the ref of the send
+// event that produced it, so the delivery at the far end can name its
+// exact cause. Links treat payloads as opaque values — the tag changes no
+// delay sampling and no scheduling, which is what keeps a traced run
+// byte-identical to an untraced one. Payloads are tagged after the
+// Byzantine intercept (a corrupting adversary replaces the payload; the
+// tag must survive on whatever actually crosses the link) and stripped in
+// deliverTo before the protocol sees them.
+type tracedPayload struct {
+	payload any
+	send    TraceRef
 }
 
 // Metrics aggregates network-wide counters.
@@ -113,6 +162,13 @@ type Network struct {
 	life     *lifecycle                // nil unless cfg.Faults is set
 	adv      *adversary                // nil unless cfg.Byzantine is set
 	bcast    []*channel.LocalBroadcast // per-node radio links (LocalBroadcast mode)
+
+	// cause is the ref of the trace event whose handler is currently
+	// running — the delivery or timer being processed — so that sends,
+	// timers and decisions emitted from inside it are parented exactly.
+	// The kernel is single-threaded, so a plain field with save/restore
+	// around each handler is enough. Always zero when cfg.Tracer is nil.
+	cause TraceRef
 }
 
 // edgeAddress identifies the receiving side of a directed edge.
@@ -259,11 +315,23 @@ func (net *Network) deliverTo(addr edgeAddress, payload any) {
 		return
 	}
 	net.metrics.MessagesDelivered++
-	if net.cfg.Tracer != nil {
-		net.cfg.Tracer.MessageDelivered(net.kernel.Now(), addr.from, addr.to, payload)
+	if net.cfg.Tracer == nil {
+		net.process(addr.to, deadLetterCounter, func() {
+			net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
+		})
+		return
 	}
+	var send TraceRef
+	if tp, ok := payload.(tracedPayload); ok {
+		send, payload = tp.send, tp.payload
+	}
+	ref := net.cfg.Tracer.MessageDelivered(net.kernel.Now(), addr.from, addr.to, payload, send)
+	inner := payload
 	net.process(addr.to, deadLetterCounter, func() {
-		net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
+		prev := net.cause
+		net.cause = ref
+		net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, inner)
+		net.cause = prev
 	})
 }
 
@@ -454,9 +522,10 @@ func (c *Context) Send(outPort int, payload any) {
 		panic(fmt.Sprintf("network: node has %d out-ports, sent on %d", len(links), outPort))
 	}
 	c.net.metrics.MessagesSent++
+	var ref TraceRef
 	if c.net.cfg.Tracer != nil {
 		to := c.net.cfg.Graph.Out(c.id)[outPort]
-		c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, to, payload)
+		ref = c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, to, payload, c.net.cause)
 	}
 	if adv := c.net.adv; adv != nil {
 		out, drop, hold := adv.intercept(c.id, payload, false)
@@ -465,19 +534,24 @@ func (c *Context) Send(outPort int, payload any) {
 		}
 		payload = out
 		if hold > 0 {
-			c.net.kernel.AfterFunc(hold, func() { c.sendOnPort(outPort, payload) })
+			c.net.kernel.AfterFunc(hold, func() { c.sendOnPort(outPort, payload, ref) })
 			return
 		}
 	}
-	c.sendOnPort(outPort, payload)
+	c.sendOnPort(outPort, payload, ref)
 }
 
 // sendOnPort puts payload on the outPort link, honouring scripted link
-// outages at the (possibly stalled) transmission instant.
-func (c *Context) sendOnPort(outPort int, payload any) {
+// outages at the (possibly stalled) transmission instant. send is the
+// traced ref of the logical send, carried across the link with the payload
+// so the delivery can name its cause; zero when tracing is off.
+func (c *Context) sendOnPort(outPort int, payload any, send TraceRef) {
 	if life := c.net.life; life != nil && life.portDown(c.id, outPort) {
 		life.tel.LinkDrops++
 		return
+	}
+	if c.net.cfg.Tracer != nil {
+		payload = tracedPayload{payload: payload, send: send}
 	}
 	c.net.links[c.id][outPort].Send(payload)
 }
@@ -498,8 +572,10 @@ func (c *Context) Broadcast(payload any) {
 		return
 	}
 	c.net.metrics.MessagesSent++
-	if c.net.cfg.Tracer != nil {
-		c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, -1, payload)
+	traced := c.net.cfg.Tracer != nil
+	var ref TraceRef
+	if traced {
+		ref = c.net.cfg.Tracer.MessageSent(c.net.kernel.Now(), c.id, -1, payload, c.net.cause)
 	}
 	link := c.net.bcast[c.id]
 	if adv := c.net.adv; adv != nil {
@@ -509,9 +585,18 @@ func (c *Context) Broadcast(payload any) {
 		}
 		payload = out
 		if hold > 0 {
-			c.net.kernel.AfterFunc(hold, func() { link.Send(payload) })
+			if traced {
+				payload = tracedPayload{payload: payload, send: ref}
+			}
+			stalled := payload
+			c.net.kernel.AfterFunc(hold, func() { link.Send(stalled) })
 			return
 		}
+	}
+	if traced {
+		// One tag shared by the whole radio fan-out: every receiver's
+		// delivery is parented to the single atomic transmission.
+		payload = tracedPayload{payload: payload, send: ref}
 	}
 	link.Send(payload)
 }
@@ -545,15 +630,25 @@ func (c *Context) timerInstant(localDelta float64) simtime.Time {
 }
 
 // timerFire builds the kernel handler for a local timer, including the
-// crash-epoch guard under fault injection.
+// crash-epoch guard under fault injection. The causal parent of the firing
+// is the event the node was processing when it *set* the timer, captured
+// here (SetLocalTimer runs inside that event's handler).
 func (c *Context) timerFire(kind int) sim.Handler {
+	setCause := c.net.cause
 	fire := func() {
 		c.net.metrics.TimersFired++
-		if c.net.cfg.Tracer != nil {
-			c.net.cfg.Tracer.TimerFired(c.net.kernel.Now(), c.id, kind)
+		if c.net.cfg.Tracer == nil {
+			c.net.process(c.id, timerCounter, func() {
+				c.net.nodes[c.id].OnTimer(c, kind)
+			})
+			return
 		}
+		ref := c.net.cfg.Tracer.TimerFired(c.net.kernel.Now(), c.id, kind, setCause)
 		c.net.process(c.id, timerCounter, func() {
+			prev := c.net.cause
+			c.net.cause = ref
 			c.net.nodes[c.id].OnTimer(c, kind)
+			c.net.cause = prev
 		})
 	}
 	if life := c.net.life; life != nil {
@@ -573,4 +668,12 @@ func (c *Context) Now() simtime.Time { return c.net.kernel.Now() }
 
 // StopNetwork halts the simulation after the current event, recording a
 // cause. Used by protocols upon termination (e.g. a leader was elected).
-func (c *Context) StopNetwork(cause string) { c.net.kernel.Stop(cause) }
+// Under a Tracer this is the run's decision event — the terminus of the
+// causal chain a critical-path analysis walks back from — parented to the
+// delivery or timer being processed when the protocol decided.
+func (c *Context) StopNetwork(cause string) {
+	if t := c.net.cfg.Tracer; t != nil {
+		t.Decision(c.net.kernel.Now(), c.id, cause, c.net.cause)
+	}
+	c.net.kernel.Stop(cause)
+}

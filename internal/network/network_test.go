@@ -445,13 +445,42 @@ func TestInPortIdentifiesSender(t *testing.T) {
 	}
 }
 
+// countingTracer counts callbacks and mints sequential refs, recording the
+// cause ref handed in with each so tests can check exact attribution.
 type countingTracer struct {
-	sent, delivered, timers int
+	sent, delivered, timers, decisions int
+	next                               EventID
+	causes                             []TraceRef
 }
 
-func (c *countingTracer) MessageSent(simtime.Time, int, int, any)      { c.sent++ }
-func (c *countingTracer) MessageDelivered(simtime.Time, int, int, any) { c.delivered++ }
-func (c *countingTracer) TimerFired(_ simtime.Time, _, _ int)          { c.timers++ }
+func (c *countingTracer) ref() TraceRef {
+	c.next++
+	return TraceRef{ID: c.next}
+}
+
+func (c *countingTracer) MessageSent(_ simtime.Time, _, _ int, _ any, cause TraceRef) TraceRef {
+	c.sent++
+	c.causes = append(c.causes, cause)
+	return c.ref()
+}
+
+func (c *countingTracer) MessageDelivered(_ simtime.Time, _, _ int, _ any, send TraceRef) TraceRef {
+	c.delivered++
+	c.causes = append(c.causes, send)
+	return c.ref()
+}
+
+func (c *countingTracer) TimerFired(_ simtime.Time, _, _ int, cause TraceRef) TraceRef {
+	c.timers++
+	c.causes = append(c.causes, cause)
+	return c.ref()
+}
+
+func (c *countingTracer) Decision(_ simtime.Time, _ int, _ string, cause TraceRef) TraceRef {
+	c.decisions++
+	c.causes = append(c.causes, cause)
+	return c.ref()
+}
 
 func TestTracerSeesEverything(t *testing.T) {
 	tr := &countingTracer{}

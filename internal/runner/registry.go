@@ -90,6 +90,19 @@ var observeCapable = map[string]bool{
 	"ben-or":           true,
 }
 
+// traceCapable names the protocols whose engines honour Env.Trace (causal
+// event tracing through network.Tracer). The set coincides with
+// observeCapable today — both require the event-driven network engine —
+// but stays a separate table so a future engine can support one without
+// the other.
+var traceCapable = map[string]bool{
+	"election":         true,
+	"chang-roberts":    true,
+	"itai-rodeh-async": true,
+	"peterson":         true,
+	"ben-or":           true,
+}
+
 // NondeterministicRuntime is implemented by protocols whose runs are NOT
 // pure functions of (Env, seed) — the live goroutine runtime, which races
 // real scheduling and wall clocks by design. The capability lives on the
@@ -136,6 +149,9 @@ type Info struct {
 	// SupportsObserve reports whether the protocol honours Env.Observe
 	// (time-series sampling).
 	SupportsObserve bool `json:"supports_observe"`
+	// SupportsTrace reports whether the protocol honours Env.Trace
+	// (causal event tracing).
+	SupportsTrace bool `json:"supports_trace"`
 	// Deterministic reports whether a run is a pure function of
 	// (Env, seed) — false only for the live goroutine runtime.
 	Deterministic bool `json:"deterministic"`
@@ -168,6 +184,7 @@ func ProtocolInfo(name string) (Info, bool) {
 		SupportsByzantine: byzantineCapable[name],
 		SupportsBroadcast: broadcastCapable[name],
 		SupportsObserve:   observeCapable[name],
+		SupportsTrace:     traceCapable[name],
 		Deterministic:     isDeterministic(p),
 	}, true
 }

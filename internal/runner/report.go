@@ -7,6 +7,7 @@ import (
 	"abenet/internal/core"
 	"abenet/internal/faults"
 	"abenet/internal/probe"
+	"abenet/internal/trace"
 )
 
 // Report is the common result shape of every protocol run. Fields that do
@@ -51,6 +52,12 @@ type Report struct {
 	// only: it never feeds Metrics(), so observed and unobserved runs of
 	// the same (Env, seed) report identical metrics.
 	Series *probe.Series
+	// Trace is the exported causal trace of the run; nil when the
+	// environment set no Env.Trace. Like Series it is measurement output
+	// only: it never feeds Metrics() and is excluded from result
+	// identity, so traced and untraced runs of the same (Env, seed)
+	// report identical metrics.
+	Trace *trace.Export
 	// Extra holds the protocol-specific measurements as one of the typed
 	// *Extra structs in this package, or nil.
 	Extra any

@@ -30,6 +30,7 @@ import (
 	"abenet/internal/probe"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
+	"abenet/internal/trace"
 )
 
 // Env states the ABE environment (Definition 1) plus the run bounds, once,
@@ -117,6 +118,18 @@ type Env struct {
 	// collected series lands in Report.Series and never changes any other
 	// Report field.
 	Observe *probe.Config
+	// Trace optionally records a causal event trace of the run (see
+	// internal/trace): every send, delivery, timer and the terminal
+	// decision gets a stable ID, a Lamport clock and an exact
+	// happens-before parent, capped at Trace.MaxEvents with counted
+	// truncation. Honoured by the same event-driven network protocols as
+	// Observe (election, chang-roberts, itai-rodeh-async, peterson,
+	// ben-or); other protocols reject a non-nil config with
+	// ErrTraceUnsupported. The exported trace lands in Report.Trace and —
+	// like Series — never changes any other Report field: a traced run is
+	// byte-identical to an untraced one. Mutually exclusive with a
+	// caller-supplied Tracer (Run installs its own recorder).
+	Trace *trace.Config
 }
 
 // The structured environment-validation errors. Env.Validate wraps each
@@ -140,6 +153,9 @@ var (
 	ErrEnvBroadcast = errors.New("runner: invalid local-broadcast environment")
 	// ErrEnvObserve: the observe config fails probe.Config.Validate.
 	ErrEnvObserve = errors.New("runner: invalid observe config")
+	// ErrEnvTrace: the trace config fails trace.Config.Validate, or Trace
+	// and a caller-supplied Tracer are both set.
+	ErrEnvTrace = errors.New("runner: invalid trace config")
 )
 
 // The structured capability-rejection errors: a protocol that cannot
@@ -154,6 +170,9 @@ var (
 	// ErrObserveUnsupported: the protocol has no event stream to sample
 	// and ignores Env.Observe.
 	ErrObserveUnsupported = errors.New("runner: protocol does not support time-series observation")
+	// ErrTraceUnsupported: the protocol has no event stream to trace and
+	// ignores Env.Trace.
+	ErrTraceUnsupported = errors.New("runner: protocol does not support causal tracing")
 )
 
 // Validate checks the environment's internal consistency and returns a
@@ -180,6 +199,12 @@ func (e Env) Validate() error {
 	}
 	if err := e.Observe.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrEnvObserve, err)
+	}
+	if err := e.Trace.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrEnvTrace, err)
+	}
+	if e.Trace != nil && e.Tracer != nil {
+		return fmt.Errorf("%w: Trace and a caller-supplied Tracer are exclusive (Run installs its own recorder for Trace)", ErrEnvTrace)
 	}
 	if e.LocalBroadcast {
 		if e.Links != nil {
@@ -332,10 +357,24 @@ func Run(env Env, p Protocol) (Report, error) {
 	if err := env.Validate(); err != nil {
 		return Report{}, err
 	}
+	var rec *trace.Recorder
+	if env.Trace != nil {
+		// Capability is checked centrally off the registry metadata: an
+		// engine that ignores Env.Tracer would otherwise hand back an
+		// empty trace where the caller asked for one.
+		if info, ok := ProtocolInfo(p.Name()); ok && !info.SupportsTrace {
+			return Report{}, fmt.Errorf("%w: %q has no kernel event stream to trace (election, chang-roberts, itai-rodeh-async, peterson and ben-or honour Env.Trace)", ErrTraceUnsupported, p.Name())
+		}
+		rec = trace.NewRecorder(env.Trace.MaxEvents)
+		env.Tracer = rec
+	}
 	rep, err := p.Run(env)
 	if err != nil {
 		return Report{}, err
 	}
 	rep.Protocol = p.Name()
+	if rec != nil {
+		rep.Trace = rec.Export()
+	}
 	return rep, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"abenet/internal/runner"
 	"abenet/internal/spec"
+	"abenet/internal/trace"
 )
 
 // RunRequest is the body of POST /v1/runs.
@@ -49,6 +50,7 @@ const DefaultMaxBodyBytes = 1 << 20
 //	POST /v1/runs             submit a scenario ({"spec": ..., "seed", "wait"})
 //	GET  /v1/runs/{id}        job status / result
 //	GET  /v1/runs/{id}/events job progress stream (Server-Sent Events)
+//	GET  /v1/runs/{id}/trace  causal trace export (?format=chrome|jsonl|text)
 //	DELETE /v1/runs/{id}      cancel a job
 //	GET  /v1/protocols        registry metadata (names, options, capabilities)
 //	GET  /healthz             liveness + service counters (?quick=1: status only)
@@ -154,6 +156,10 @@ func NewHandler(svc *Service, hopts HandlerOptions) http.Handler {
 		serveEvents(svc, w, r)
 	})
 
+	mux.HandleFunc("GET /v1/runs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		serveTrace(svc, w, r)
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// quick=1 is the load-balancer probe shape: status only, no lock
 		// acquisition, no counter marshalling.
@@ -235,6 +241,55 @@ func serveEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// serveTrace renders a finished traced run's causal export in the requested
+// format: chrome (trace-event JSON, Perfetto-loadable, the default), jsonl
+// (one event per line plus a trailer), or text. An unknown job or a run that
+// was not traced is 404; a job that has not finished successfully yet is 409
+// (the export only exists on done jobs); an unknown format is 400.
+func serveTrace(svc *Service, w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "chrome"
+	}
+	switch format {
+	case "chrome", "jsonl", "text":
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown trace format %q (chrome, jsonl or text)", format))
+		return
+	}
+	view, err := svc.Get(r.PathValue("id"))
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if view.Status != StatusDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job is %s; the trace exists once it is done", view.Status))
+		return
+	}
+	if view.Result == nil || view.Result.Trace == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New(`run was not traced (submit with an env "trace" block)`))
+		return
+	}
+	exp := view.Result.Trace
+	switch format {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = trace.WriteChrome(w, exp)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_ = trace.WriteJSONL(w, exp)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = trace.WriteText(w, exp)
 	}
 }
 

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RequestLogger wraps next so every request emits one structured log line
+// after it completes: method, path, status, latency, and the job id when
+// the path carries one. A nil logger returns next unchanged, which is how
+// tests (and anyone who wants a quiet handler) opt out.
+//
+// The wrapped ResponseWriter preserves http.Flusher when the underlying
+// writer has it — the SSE progress stream flushes per event and must keep
+// doing so through the logging layer.
+func RequestLogger(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		var wrapped http.ResponseWriter = sw
+		if f, ok := w.(http.Flusher); ok {
+			wrapped = &flushStatusWriter{statusWriter: sw, flusher: f}
+		}
+		start := time.Now()
+		next.ServeHTTP(wrapped, r)
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("latency", time.Since(start)),
+		}
+		if id := jobIDFromPath(r.URL.Path); id != "" {
+			attrs = append(attrs, slog.String("job", id))
+		}
+		logger.Info("request", attrs...)
+	})
+}
+
+// statusWriter records the response status for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// flushStatusWriter is the variant handed out when the underlying writer
+// can flush: it keeps the SSE endpoint's per-event flushes working through
+// the logging wrapper.
+type flushStatusWriter struct {
+	*statusWriter
+	flusher http.Flusher
+}
+
+func (w *flushStatusWriter) Flush() { w.flusher.Flush() }
+
+// jobIDFromPath extracts the job id from /v1/runs/{id}[...] paths. The
+// middleware sits outside the mux, so the routed path values are not
+// available on its request; the prefix parse is exact for this API's only
+// parameterised routes.
+func jobIDFromPath(path string) string {
+	const prefix = "/v1/runs/"
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	id := strings.TrimPrefix(path, prefix)
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	return id
+}

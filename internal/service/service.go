@@ -26,6 +26,7 @@ import (
 	"abenet/internal/runner"
 	"abenet/internal/spec"
 	"abenet/internal/store"
+	"abenet/internal/trace"
 )
 
 // The lifecycle errors.
@@ -108,6 +109,11 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Points are the sweep's aggregated positions (nil for single runs).
 	Points []spec.PointView `json:"points,omitempty"`
+	// Trace is the causal event trace of a traced single run (nil
+	// otherwise). It is lifted off Report so the stored payload encodes it
+	// once, and so GET /v1/runs/{id}/trace can render it without reparsing
+	// the report.
+	Trace *trace.Export `json:"trace,omitempty"`
 }
 
 // View is a JSON-ready snapshot of one job.
@@ -290,7 +296,7 @@ func (s *Service) submit(sp *spec.Spec, seedOverride *uint64) (View, *job, error
 	if err != nil {
 		return View{}, nil, err
 	}
-	key := fmt.Sprintf("%s@%d%s", hash, run.Env.Seed, observeKey(run.Env.Observe))
+	key := fmt.Sprintf("%s@%d%s%s", hash, run.Env.Seed, observeKey(run.Env.Observe), traceKey(run.Env.Trace))
 	info, _ := runner.ProtocolInfo(run.Protocol.Name)
 
 	s.mu.Lock()
@@ -382,6 +388,18 @@ func observeKey(o *spec.ObserveSpec) string {
 		return ""
 	}
 	return fmt.Sprintf("+obs:%d:%g:%d", o.EveryEvents, o.Interval, o.MaxSamples)
+}
+
+// traceKey is the cache-key suffix for traced submissions, for the same
+// reason as observeKey: Hash() excludes the trace block (tracing never
+// changes a run's results), but the cached payload carries the exported
+// events, so a traced and an untraced submission of the same scenario must
+// not share an entry — nor two traced ones differing in cap.
+func traceKey(t *spec.TraceSpec) string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("+tr:%d", t.MaxEvents)
 }
 
 // Get snapshots a job by id.
@@ -632,5 +650,9 @@ func execute(j *job, sweepWorkers int) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Report: &rep, Metrics: rep.Metrics()}, nil
+	res = &Result{Report: &rep, Metrics: rep.Metrics(), Trace: rep.Trace}
+	// The trace lives on the Result, not inside the report: one encoding in
+	// the stored payload, and the trace endpoint reads it directly.
+	rep.Trace = nil
+	return res, nil
 }

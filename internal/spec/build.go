@@ -110,6 +110,13 @@ func (s *Spec) BuildEnv() (runner.Env, error) {
 		}
 		env.Observe = cfg
 	}
+	if e.Trace != nil {
+		cfg, err := e.Trace.Build()
+		if err != nil {
+			return runner.Env{}, err
+		}
+		env.Trace = cfg
+	}
 	return env, nil
 }
 
@@ -201,6 +208,20 @@ func (s *Spec) validate() error {
 		}
 		if s.Sweep != nil {
 			return errors.New(`spec: "observe" applies to a single run; a sweep streams per-point completions instead — drop one of the two blocks`)
+		}
+	}
+	if s.Env.Trace != nil {
+		if info, ok := runner.ProtocolInfo(s.Protocol.Name); ok && !info.SupportsTrace {
+			var capable []string
+			for _, i := range runner.Infos() {
+				if i.SupportsTrace {
+					capable = append(capable, i.Name)
+				}
+			}
+			return fmt.Errorf("spec: protocol %q does not support causal tracing (trace-capable: %v)", s.Protocol.Name, capable)
+		}
+		if s.Sweep != nil {
+			return errors.New(`spec: "trace" applies to a single run; tracing every run of a sweep would multiply its memory by the event cap — drop one of the two blocks`)
 		}
 	}
 	if sw := s.Sweep; sw != nil {

@@ -32,6 +32,7 @@ import (
 
 	"abenet/internal/probe"
 	"abenet/internal/runner"
+	"abenet/internal/trace"
 )
 
 // Version is the (only) supported spec schema version.
@@ -108,6 +109,16 @@ type EnvSpec struct {
 	// off the kernel's post-event hook, and golden pins hold an observed
 	// run byte-identical to an unobserved one.
 	Observe *ObserveSpec `json:"observe,omitempty"`
+	// Trace records a causal event trace of the run (see internal/trace):
+	// stable event IDs, Lamport clocks and exact happens-before parent
+	// edges, exportable as Chrome trace-event JSON, JSONL or text. Nil
+	// records nothing. Only protocols reporting supports_trace accept it,
+	// and like Observe it does not combine with a sweep block. Excluded
+	// from Hash() for the same reason as Observe: tracing never changes a
+	// run's results — golden pins hold a traced run byte-identical to an
+	// untraced one — so the cache layer differentiates on (hash, seed,
+	// trace fingerprint) instead (see service.traceKey).
+	Trace *TraceSpec `json:"trace,omitempty"`
 }
 
 // ObserveSpec is the JSON shape of probe.Config: the sampling cadence and
@@ -130,6 +141,24 @@ func (o *ObserveSpec) Build() (*probe.Config, error) {
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("spec: observe: %w", err)
+	}
+	return cfg, nil
+}
+
+// TraceSpec is the JSON shape of trace.Config: the event cap of the
+// causal trace recorder.
+type TraceSpec struct {
+	// MaxEvents caps the stored events; 0 means trace.DefaultMaxEvents.
+	// Events past the cap are counted, not stored; the terminal decision
+	// event is cap-exempt.
+	MaxEvents int `json:"max_events,omitempty"`
+}
+
+// Build constructs the trace configuration the spec describes.
+func (t *TraceSpec) Build() (*trace.Config, error) {
+	cfg := &trace.Config{MaxEvents: t.MaxEvents}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: trace: %w", err)
 	}
 	return cfg, nil
 }
@@ -319,6 +348,10 @@ func (s *Spec) Hash() (string, error) {
 	// Serving layers that cache per-run payloads including the series key
 	// on (hash, seed, observe fingerprint) — see service.observeKey.
 	c.Env.Observe = nil
+	// The trace block is excluded for the same reason: a traced run's
+	// Report (minus the trace) is byte-identical to an untraced one, and
+	// the cache key carries the trace fingerprint (service.traceKey).
+	c.Env.Trace = nil
 	if c.Sweep != nil {
 		sw := *c.Sweep
 		sw.Workers = 0

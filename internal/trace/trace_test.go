@@ -13,116 +13,248 @@ import (
 
 func TestRecorderCollectsInOrder(t *testing.T) {
 	r := NewRecorder(0)
-	r.MessageSent(1, 0, 1, "a")
-	r.MessageDelivered(2, 0, 1, "a")
-	r.TimerFired(3, 1, 7)
+	s := r.MessageSent(1, 0, 1, "a", network.TraceRef{})
+	d := r.MessageDelivered(2, 0, 1, "a", s)
+	r.TimerFired(3, 1, 7, d)
+
 	events := r.Events()
 	if len(events) != 3 {
-		t.Fatalf("events = %d", len(events))
+		t.Fatalf("got %d events, want 3", len(events))
 	}
-	if events[0].Kind != KindSend || events[1].Kind != KindDeliver || events[2].Kind != KindTimer {
-		t.Fatalf("kinds = %v %v %v", events[0].Kind, events[1].Kind, events[2].Kind)
+	wantKinds := []EventKind{KindSend, KindDeliver, KindTimer}
+	for i, e := range events {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+		if e.ID != EventID(i+1) {
+			t.Errorf("event %d ID = %d, want %d", i, e.ID, i+1)
+		}
 	}
-	if events[2].From != 1 || events[2].To != 7 {
-		t.Fatalf("timer event = %+v", events[2])
+	// Parent edges: the delivery is parented to the send, the timer to the
+	// delivery whose handler set it.
+	if events[1].Parent != events[0].ID {
+		t.Errorf("delivery parent = #%d, want the send #%d", events[1].Parent, events[0].ID)
+	}
+	if events[2].Parent != events[1].ID {
+		t.Errorf("timer parent = #%d, want the delivery #%d", events[2].Parent, events[1].ID)
 	}
 }
 
-func TestRecorderCap(t *testing.T) {
+func TestRecorderLamportClocks(t *testing.T) {
+	r := NewRecorder(0)
+	// Node 0 does two local events, then sends; node 1 is fresh, so the
+	// delivery must jump its clock to the sender's + 1.
+	r.TimerFired(0.5, 0, 1, network.TraceRef{})
+	r.TimerFired(0.6, 0, 1, network.TraceRef{})
+	s := r.MessageSent(1, 0, 1, "x", network.TraceRef{})
+	if s.Lamport != 3 {
+		t.Fatalf("send lamport = %d, want 3", s.Lamport)
+	}
+	d := r.MessageDelivered(2, 0, 1, "x", s)
+	if d.Lamport != 4 {
+		t.Fatalf("delivery lamport = %d, want max(0,3)+1 = 4", d.Lamport)
+	}
+	// A delivery with a zero ref (untraced cause) just ticks locally.
+	d2 := r.MessageDelivered(3, 0, 1, "y", network.TraceRef{})
+	if d2.Lamport != 5 {
+		t.Fatalf("zero-ref delivery lamport = %d, want 5", d2.Lamport)
+	}
+}
+
+func TestRecorderCapAndStableIDs(t *testing.T) {
 	r := NewRecorder(2)
 	for i := 0; i < 5; i++ {
-		r.MessageSent(simtime.Time(i), 0, 1, i)
+		r.MessageSent(simtime.Time(i), 0, 1, i, network.TraceRef{})
 	}
 	if r.Len() != 2 {
-		t.Fatalf("len = %d", r.Len())
+		t.Fatalf("Len = %d, want 2", r.Len())
 	}
 	if r.Dropped() != 3 {
-		t.Fatalf("dropped = %d", r.Dropped())
+		t.Fatalf("Dropped = %d, want 3", r.Dropped())
+	}
+	// IDs keep counting past the cap, so a later (cap-exempt) event gets
+	// the ID it would have had uncapped.
+	dec := r.Decision(9, 0, "done", network.TraceRef{})
+	if dec.ID != 6 {
+		t.Fatalf("decision ID = %d, want 6 (IDs count dropped events)", dec.ID)
 	}
 }
 
+func TestDecisionIsCapExempt(t *testing.T) {
+	r := NewRecorder(1)
+	r.MessageSent(0, 0, 1, "a", network.TraceRef{})
+	r.MessageSent(1, 0, 1, "b", network.TraceRef{}) // dropped
+	d := r.MessageDelivered(2, 0, 1, "a", network.TraceRef{})
+	r.Decision(3, 1, "leader elected", d)
+
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("stored %d events, want 2 (1 capped + the exempt decision)", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Kind != KindDecision {
+		t.Fatalf("last stored event is %v, want the decision", last.Kind)
+	}
+	if last.Parent != d.ID {
+		t.Fatalf("decision parent = #%d, want #%d", last.Parent, d.ID)
+	}
+	if r.DecisionID() != last.ID {
+		t.Fatalf("DecisionID = %d, want %d", r.DecisionID(), last.ID)
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2 (the capped send and the delivery)", r.Dropped())
+	}
+}
+
+// TestEventsReturnsCopy is the regression pin for the single-lock snapshot
+// rework: mutating the returned slice must not corrupt the recorder.
 func TestEventsReturnsCopy(t *testing.T) {
 	r := NewRecorder(0)
-	r.MessageSent(1, 0, 1, "a")
+	r.MessageSent(1, 0, 1, "a", network.TraceRef{})
 	events := r.Events()
-	events[0].From = 99
-	if r.Events()[0].From == 99 {
-		t.Fatal("Events exposed internal slice")
+	events[0].Payload = "tampered"
+	if got := r.Events()[0].Payload; got != "a" {
+		t.Fatalf("recorder storage mutated through Events(): payload = %v", got)
 	}
 }
 
 func TestWriteToAndSummary(t *testing.T) {
 	r := NewRecorder(2)
-	r.MessageSent(1, 0, 1, "x")
-	r.MessageDelivered(2, 0, 1, "x")
-	r.TimerFired(3, 0, 1)
+	s := r.MessageSent(1, 0, 1, "a", network.TraceRef{})
+	r.MessageDelivered(2, 0, 1, "a", s)
+	r.TimerFired(3, 1, 7, network.TraceRef{}) // dropped: over cap
+
 	var b strings.Builder
 	if _, err := r.WriteTo(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "send") || !strings.Contains(out, "dropped") {
-		t.Fatalf("output:\n%s", out)
+	for _, want := range []string{"send", "deliver", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTo output missing %q:\n%s", want, out)
+		}
 	}
-	if !strings.Contains(r.Summary(), "2 events") {
-		t.Fatalf("summary: %s", r.Summary())
+	sum := r.Summary()
+	for _, want := range []string{"2 events", "1 sends", "1 deliveries", "0 timers", "1 dropped"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
 	}
 }
 
 func TestFilter(t *testing.T) {
 	r := NewRecorder(0)
-	r.MessageSent(1, 0, 1, "a")
-	r.TimerFired(2, 0, 1)
-	r.MessageSent(3, 1, 0, "b")
+	s := r.MessageSent(1, 0, 1, "a", network.TraceRef{})
+	r.MessageDelivered(2, 0, 1, "a", s)
+	r.MessageSent(3, 1, 0, "b", network.TraceRef{})
 	sends := r.Filter(KindSend)
 	if len(sends) != 2 {
-		t.Fatalf("sends = %d", len(sends))
+		t.Fatalf("Filter(KindSend) = %d events, want 2", len(sends))
+	}
+	for _, e := range sends {
+		if e.Kind != KindSend {
+			t.Fatalf("filtered event has kind %v", e.Kind)
+		}
+	}
+	if len(r.Filter(KindTimer)) != 0 {
+		t.Fatal("Filter(KindTimer) found phantom events")
 	}
 }
 
 func TestKindStrings(t *testing.T) {
-	for k, want := range map[EventKind]string{KindSend: "send", KindDeliver: "deliver", KindTimer: "timer"} {
+	cases := map[EventKind]string{
+		KindSend:     "send",
+		KindDeliver:  "deliver",
+		KindTimer:    "timer",
+		KindDecision: "decision",
+	}
+	for k, want := range cases {
 		if k.String() != want {
-			t.Fatalf("%d -> %q", k, k.String())
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+		if ParseKind(want) != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", want, ParseKind(want), k)
 		}
 	}
-	if EventKind(9).String() == "" {
-		t.Fatal("unknown kind empty")
+	if ParseKind("bogus") != 0 {
+		t.Error("ParseKind accepted an unknown kind")
 	}
 }
 
-// echoNode bounces one message to exercise the Tracer integration.
-type echoNode struct{ start bool }
+func TestConfigValidate(t *testing.T) {
+	var nilCfg *Config
+	if err := nilCfg.Validate(); err != nil {
+		t.Fatalf("nil config: %v", err)
+	}
+	if err := (&Config{MaxEvents: -1}).Validate(); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+	if err := (&Config{MaxEvents: 10}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
 
-func (e *echoNode) Init(ctx *network.Context) {
-	if e.start {
+// echoNode sends one message from node 0 and stops when it arrives.
+type echoNode struct {
+	id int
+}
+
+func (n *echoNode) Init(ctx *network.Context) {
+	if n.id == 0 {
 		ctx.Send(0, "ping")
 	}
 }
-func (e *echoNode) OnMessage(ctx *network.Context, _ int, _ any) {
-	ctx.StopNetwork("done")
-}
-func (e *echoNode) OnTimer(*network.Context, int) {}
 
+func (n *echoNode) OnMessage(ctx *network.Context, _ int, _ any) {
+	ctx.StopNetwork("echo received")
+}
+
+func (n *echoNode) OnTimer(*network.Context, int) {}
+
+// TestRecorderAsNetworkTracer drives a Recorder through a real network run
+// and checks the causal chain end to end: Init send (root) → delivery
+// (parented to the send, payload unwrapped) → decision (parented to the
+// delivery).
 func TestRecorderAsNetworkTracer(t *testing.T) {
 	rec := NewRecorder(0)
 	net, err := network.New(network.Config{
 		Graph:  topology.Ring(2),
 		Links:  channel.RandomDelayFactory(dist.NewDeterministic(1)),
-		Seed:   1,
+		Seed:   3,
 		Tracer: rec,
-	}, func(i int) network.Node { return &echoNode{start: i == 0} })
+	}, func(i int) network.Node { return &echoNode{id: i} })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := net.Run(simtime.Forever, 0); err != nil {
+	if err := net.Run(100, 0); err != nil {
 		t.Fatal(err)
 	}
-	if len(rec.Filter(KindSend)) != 1 || len(rec.Filter(KindDeliver)) != 1 {
-		t.Fatalf("trace: %s", rec.Summary())
-	}
+
 	events := rec.Events()
-	if events[0].At != 0 || events[1].At != 1 {
-		t.Fatalf("timestamps: %v, %v", events[0].At, events[1].At)
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want send+deliver+decision:\n%v", len(events), events)
+	}
+	send, deliver, decision := events[0], events[1], events[2]
+	if send.Kind != KindSend || send.Parent != 0 {
+		t.Fatalf("first event = %+v, want a root send", send)
+	}
+	if deliver.Kind != KindDeliver || deliver.Parent != send.ID {
+		t.Fatalf("second event = %+v, want a delivery parented to #%d", deliver, send.ID)
+	}
+	if deliver.Payload != "ping" {
+		t.Fatalf("delivery payload = %v, want the unwrapped \"ping\"", deliver.Payload)
+	}
+	if decision.Kind != KindDecision || decision.Parent != deliver.ID {
+		t.Fatalf("third event = %+v, want a decision parented to #%d", decision, deliver.ID)
+	}
+	if decision.Payload != "echo received" {
+		t.Fatalf("decision payload = %v", decision.Payload)
+	}
+	if send.Lamport != 1 || deliver.Lamport != 2 || decision.Lamport != 3 {
+		t.Fatalf("lamport chain = %d,%d,%d, want 1,2,3",
+			send.Lamport, deliver.Lamport, decision.Lamport)
+	}
+	if rec.DecisionID() != decision.ID {
+		t.Fatalf("DecisionID = %d, want %d", rec.DecisionID(), decision.ID)
 	}
 }

@@ -72,6 +72,7 @@ import (
 	"abenet/internal/harness"
 	"abenet/internal/live"
 	"abenet/internal/runner"
+	"abenet/internal/sim"
 	"abenet/internal/stats"
 	"abenet/internal/synchronizer"
 	"abenet/internal/syncnet"
@@ -155,6 +156,27 @@ func ProtocolByName(name string) (Protocol, bool) { return runner.ProtocolByName
 // leader and no invariant violations.
 func RequireElected(r Report) error { return runner.RequireElected(r) }
 
+// ---- Kernel schedulers ----
+
+// The event-scheduler implementations selectable via Env.Scheduler. Every
+// scheduler executes events in the same (time, sequence) total order, so a
+// run is byte-identical whichever is chosen; the choice trades queue
+// performance only (the calendar queue's O(1) amortised operations pay off
+// on very large networks).
+const (
+	// SchedulerHeap is the default intrusive 4-ary min-heap.
+	SchedulerHeap = sim.SchedulerHeap
+	// SchedulerCalendar is the calendar-queue scheduler (Brown 1988).
+	SchedulerCalendar = sim.SchedulerCalendar
+)
+
+// Schedulers returns the names of the registered kernel schedulers.
+func Schedulers() []string { return sim.SchedulerNames() }
+
+// ErrMaxEvents marks a run that exhausted its event budget (a livelock
+// guard tripping, not a protocol decision). Classify with errors.Is.
+var ErrMaxEvents = sim.ErrMaxEvents
+
 // ---- The ABE model (Definition 1) ----
 
 // Params are the known ABE bounds (δ, s_low, s_high, γ).
@@ -190,6 +212,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Scheduler:  cfg.Scheduler,
 		Horizon:    cfg.Horizon,
 		MaxEvents:  cfg.MaxEvents,
 		Tracer:     cfg.Tracer,
@@ -212,6 +235,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Messages:       rep.Messages,
 		Transmissions:  rep.Transmissions,
 		Time:           rep.Time,
+		Events:         rep.Events,
 		Activations:    extra.Activations,
 		Knockouts:      extra.Knockouts,
 		ResidualPurges: extra.ResidualPurges,

@@ -1,11 +1,18 @@
 package abenet_test
 
 import (
+	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"abenet"
+	"abenet/internal/channel"
+	"abenet/internal/dist"
 	"abenet/internal/experiments"
+	"abenet/internal/rng"
+	"abenet/internal/sim"
+	"abenet/internal/simtime"
 )
 
 // One benchmark per experiment (E1..E15, DESIGN.md §5 plus the PR 3 fault
@@ -97,6 +104,10 @@ func BenchmarkE14ByzantineBroadcast(b *testing.B) {
 
 func BenchmarkE15CausalDepth(b *testing.B) {
 	benchExperiment(b, experiments.E15CausalDepth)
+}
+
+func BenchmarkE16ScalingLadder(b *testing.B) {
+	benchExperiment(b, experiments.E16Scale)
 }
 
 // ---- Micro-benchmarks of the core building blocks ----
@@ -214,6 +225,87 @@ func BenchmarkRunElectionHypercube64(b *testing.B) {
 		if rep.Leaders != 1 {
 			b.Fatalf("leaders = %d", rep.Leaders)
 		}
+	}
+}
+
+// ---- Scaling ladder and delivery-path allocation benchmarks (PR 10) ----
+
+// BenchmarkScaleElection runs one rung of the E16 ladder per sub-benchmark:
+// a ring election parameterised for O(n) total events (A0 = 1/n, tick
+// interval n) under each kernel scheduler. Run with -benchtime 1x: each
+// "op" is one complete election, and the attached events/sec metric is the
+// kernel throughput headline BENCH_pr10.json records. The ladder tops out
+// at n = 10⁵ here; the 10⁶ rung costs ~½ minute per scheduler, so it opts
+// in via ABE_BENCH_MILLION=1 (the BENCH_pr10.json one-liner in README.md
+// sets it).
+func BenchmarkScaleElection(b *testing.B) {
+	sizes := []int{1_000, 10_000, 100_000}
+	if os.Getenv("ABE_BENCH_MILLION") != "" {
+		sizes = append(sizes, 1_000_000)
+	}
+	for _, sched := range abenet.Schedulers() {
+		for _, n := range sizes {
+			b.Run(fmt.Sprintf("%s/n=%d", sched, n), func(b *testing.B) {
+				var events uint64
+				for i := 0; i < b.N; i++ {
+					res, err := abenet.RunElection(abenet.ElectionConfig{
+						N:            n,
+						A0:           1 / float64(n),
+						TickInterval: float64(n),
+						Seed:         1,
+						Scheduler:    sched,
+						MaxEvents:    2_000_000_000,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Leaders != 1 {
+						b.Fatalf("leaders = %d", res.Leaders)
+					}
+					events += res.Events
+				}
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkLinkDelivery measures the per-message cost of the pooled,
+// batched delivery path in isolation: b.N sends through one link, drained
+// in one kernel run. allocs/op is the headline — the payload pool and the
+// batch event amortise what used to be one scheduled closure per message —
+// so CI runs this under -benchmem and benchjson's allocation table pins
+// the delta against the previous PR's baseline.
+func BenchmarkLinkDelivery(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		make func(k *sim.Kernel, r *rng.Source, deliver channel.DeliverFunc) channel.Link
+	}{
+		{"random-delay", func(k *sim.Kernel, r *rng.Source, deliver channel.DeliverFunc) channel.Link {
+			return channel.NewRandomDelay(k, dist.NewExponential(1), r, deliver)
+		}},
+		{"fifo", func(k *sim.Kernel, r *rng.Source, deliver channel.DeliverFunc) channel.Link {
+			return channel.NewFIFO(k, dist.NewExponential(1), r, deliver)
+		}},
+		{"arq", func(k *sim.Kernel, r *rng.Source, deliver channel.DeliverFunc) channel.Link {
+			return channel.NewARQ(k, 0.9, 1, r, deliver)
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			kernel := sim.New()
+			delivered := 0
+			link := tc.make(kernel, rng.New(7), func(any) { delivered++ })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				link.Send(i)
+			}
+			if err := kernel.Run(simtime.Forever, 0); err != nil {
+				b.Fatal(err)
+			}
+			if delivered != b.N {
+				b.Fatalf("delivered %d of %d", delivered, b.N)
+			}
+		})
 	}
 }
 

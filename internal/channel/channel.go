@@ -68,6 +68,7 @@ type RandomDelay struct {
 	r       *rng.Source
 	deliver DeliverFunc
 	stats   Stats
+	pool    deliveryPool
 }
 
 var _ Link = (*RandomDelay)(nil)
@@ -76,7 +77,9 @@ var _ Link = (*RandomDelay)(nil)
 // be non-nil.
 func NewRandomDelay(k *sim.Kernel, delay dist.Dist, r *rng.Source, deliver DeliverFunc) *RandomDelay {
 	mustLinkArgs(k, delay, r, deliver)
-	return &RandomDelay{kernel: k, delay: delay, r: r, deliver: deliver}
+	l := &RandomDelay{kernel: k, delay: delay, r: r, deliver: deliver}
+	l.pool.init(k, l.deliverOne)
+	return l
 }
 
 // Send implements Link.
@@ -84,12 +87,14 @@ func (l *RandomDelay) Send(payload any) simtime.Duration {
 	d := simtime.Duration(l.delay.Sample(l.r))
 	l.stats.Sent++
 	l.stats.Transmissions++
-	l.kernel.AfterFunc(d, func() {
-		l.stats.Delivered++
-		l.stats.TotalDelay += d.Seconds()
-		l.deliver(payload)
-	})
+	l.pool.send(l.kernel.Now().Add(d), payload, d)
 	return d
+}
+
+func (l *RandomDelay) deliverOne(payload any, d simtime.Duration) {
+	l.stats.Delivered++
+	l.stats.TotalDelay += d.Seconds()
+	l.deliver(payload)
 }
 
 // Stats implements Link.
@@ -108,6 +113,7 @@ type FIFO struct {
 	deliver      DeliverFunc
 	stats        Stats
 	lastDelivery simtime.Time
+	pool         deliveryPool
 }
 
 var _ Link = (*FIFO)(nil)
@@ -115,7 +121,9 @@ var _ Link = (*FIFO)(nil)
 // NewFIFO returns an order-preserving random-delay link.
 func NewFIFO(k *sim.Kernel, delay dist.Dist, r *rng.Source, deliver DeliverFunc) *FIFO {
 	mustLinkArgs(k, delay, r, deliver)
-	return &FIFO{kernel: k, delay: delay, r: r, deliver: deliver}
+	l := &FIFO{kernel: k, delay: delay, r: r, deliver: deliver}
+	l.pool.init(k, l.deliverOne)
+	return l
 }
 
 // Send implements Link.
@@ -129,12 +137,14 @@ func (l *FIFO) Send(payload any) simtime.Duration {
 	effective := arrival.Sub(sent)
 	l.stats.Sent++
 	l.stats.Transmissions++
-	l.kernel.AtFunc(arrival, func() {
-		l.stats.Delivered++
-		l.stats.TotalDelay += effective.Seconds()
-		l.deliver(payload)
-	})
+	l.pool.send(arrival, payload, effective)
 	return effective
+}
+
+func (l *FIFO) deliverOne(payload any, effective simtime.Duration) {
+	l.stats.Delivered++
+	l.stats.TotalDelay += effective.Seconds()
+	l.deliver(payload)
 }
 
 // Stats implements Link.
@@ -157,6 +167,7 @@ type ARQ struct {
 	r       *rng.Source
 	deliver DeliverFunc
 	stats   Stats
+	pool    deliveryPool
 }
 
 var _ Link = (*ARQ)(nil)
@@ -168,7 +179,9 @@ func NewARQ(k *sim.Kernel, p, slot float64, r *rng.Source, deliver DeliverFunc) 
 	if k == nil || r == nil || deliver == nil {
 		panic("channel: ARQ link requires kernel, rng and deliver")
 	}
-	return &ARQ{kernel: k, model: model, r: r, deliver: deliver}
+	l := &ARQ{kernel: k, model: model, r: r, deliver: deliver}
+	l.pool.init(k, l.deliverOne)
+	return l
 }
 
 // Send implements Link. It simulates the individual transmission attempts
@@ -178,12 +191,14 @@ func (l *ARQ) Send(payload any) simtime.Duration {
 	d := simtime.Duration(float64(attempts) * l.model.SlotTime)
 	l.stats.Sent++
 	l.stats.Transmissions += uint64(attempts)
-	l.kernel.AfterFunc(d, func() {
-		l.stats.Delivered++
-		l.stats.TotalDelay += d.Seconds()
-		l.deliver(payload)
-	})
+	l.pool.send(l.kernel.Now().Add(d), payload, d)
 	return d
+}
+
+func (l *ARQ) deliverOne(payload any, d simtime.Duration) {
+	l.stats.Delivered++
+	l.stats.TotalDelay += d.Seconds()
+	l.deliver(payload)
 }
 
 // Stats implements Link.

@@ -131,6 +131,9 @@ type Config struct {
 	Processing dist.Dist
 	// Seed determines the whole run.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation ("heap",
+	// "calendar"); empty means the default heap. Byte-identical either way.
+	Scheduler string
 	// Horizon bounds virtual time; 0 means unbounded.
 	Horizon simtime.Time
 	// MaxEvents bounds the event count; 0 means 50e6.
@@ -179,9 +182,12 @@ type Result struct {
 	InitialValues []int8
 	Metrics       network.Metrics
 	Time          float64
-	StopCause     string
-	Params        core.Params
-	Faults        *faults.Telemetry
+	// Events is the number of kernel events the run executed (a batch of
+	// same-instant deliveries counts as one event).
+	Events    uint64
+	StopCause string
+	Params    core.Params
+	Faults    *faults.Telemetry
 	// Series is the sampled time series, nil without an observe config.
 	Series *probe.Series
 }
@@ -339,6 +345,7 @@ func Run(cfg Config) (Result, error) {
 		Clocks:         cfg.Clocks,
 		Processing:     cfg.Processing,
 		Seed:           cfg.Seed,
+		Scheduler:      cfg.Scheduler,
 		Tracer:         cfg.Tracer,
 		Faults:         cfg.Faults,
 		Byzantine:      cfg.Byzantine,
@@ -366,6 +373,7 @@ func Run(cfg Config) (Result, error) {
 		InitialValues: initial,
 		Metrics:       net.Metrics(),
 		Time:          float64(net.Now()),
+		Events:        net.Kernel().Executed(),
 		StopCause:     net.StopCause(),
 		Params:        core.ParamsOf(net),
 		Faults:        net.FaultTelemetry(),

@@ -58,6 +58,10 @@ type ElectionConfig struct {
 	MaxEvents uint64
 	// Seed determines the whole run.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation by name
+	// ("heap", "calendar"); empty means the default heap. Byte-identical
+	// runs either way — a performance knob only.
+	Scheduler string
 	// Tracer optionally observes the run.
 	Tracer network.Tracer
 	// Faults optionally injects message faults, node churn and link
@@ -89,6 +93,10 @@ type ElectionResult struct {
 	// Time is the virtual time at which the run ended (for StopOnLeader
 	// runs: the election time).
 	Time float64
+	// Events is the number of kernel events the run executed — the
+	// denominator of throughput (events/sec) measurements. A batch of
+	// same-instant deliveries counts as one event.
+	Events uint64
 	// Activations sums idle→active transitions over all nodes.
 	Activations int
 	// Knockouts sums purged messages over all nodes.
@@ -204,6 +212,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Scheduler:  cfg.Scheduler,
 		Anonymous:  true,
 		Tracer:     cfg.Tracer,
 		Faults:     cfg.Faults,
@@ -282,6 +291,7 @@ func RunElection(cfg ElectionConfig) (ElectionResult, error) {
 	res.Messages = m.MessagesSent
 	res.Transmissions = m.Transmissions
 	res.Time = float64(net.Now())
+	res.Events = net.Kernel().Executed()
 	res.Faults = net.FaultTelemetry()
 	if collector != nil {
 		collector.Final(net.Now(), net.Kernel().Executed())

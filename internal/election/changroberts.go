@@ -99,6 +99,7 @@ type ChangRobertsConfig struct {
 	Clocks      clock.Model             // nil means perfect clocks
 	Processing  dist.Dist               // nil means instantaneous
 	Seed        uint64
+	Scheduler   string         // kernel event-queue implementation ("heap", "calendar"); "" = heap, byte-identical either way
 	Horizon     simtime.Time   // virtual-time bound; 0 means unbounded (fault plans should set it)
 	MaxEvents   uint64         // 0 means 50e6
 	Tracer      network.Tracer // optional run observer
@@ -146,6 +147,7 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Scheduler:  cfg.Scheduler,
 		Tracer:     cfg.Tracer,
 		Faults:     cfg.Faults,
 	}, func(i int) network.Node {
@@ -177,6 +179,7 @@ func RunChangRoberts(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	res.Elected = res.Leaders > 0
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
+	res.Events = net.Kernel().Executed()
 	res.Faults = net.FaultTelemetry()
 	res.Series = finishProbe(net, collector)
 	return res, nil

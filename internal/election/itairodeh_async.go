@@ -132,6 +132,9 @@ type AsyncRingConfig struct {
 	Processing dist.Dist
 	// Seed drives the run.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation ("heap",
+	// "calendar"); empty means the default heap. Byte-identical either way.
+	Scheduler string
 	// Horizon bounds virtual time; 0 means unbounded. Fault-injected runs
 	// can deadlock (every token lost), so they should set it.
 	Horizon simtime.Time
@@ -186,6 +189,9 @@ type AsyncRingResult struct {
 	Leaders     int
 	Messages    uint64
 	Time        float64
+	// Events is the number of kernel events the run executed (a batch of
+	// same-instant deliveries counts as one event).
+	Events uint64
 	// Faults is the fault-injection telemetry, nil without a fault plan.
 	Faults *faults.Telemetry
 	// Series is the sampled time series, nil without an observe config.
@@ -224,6 +230,7 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Scheduler:  cfg.Scheduler,
 		Anonymous:  true,
 		Tracer:     cfg.Tracer,
 		Faults:     cfg.Faults,
@@ -264,6 +271,7 @@ func RunItaiRodehAsync(cfg AsyncRingConfig) (AsyncRingResult, error) {
 	res.Elected = res.Leaders > 0
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
+	res.Events = net.Kernel().Executed()
 	res.Faults = net.FaultTelemetry()
 	res.Series = finishProbe(net, collector)
 	return res, nil

@@ -146,6 +146,7 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 		Clocks:     cfg.Clocks,
 		Processing: cfg.Processing,
 		Seed:       cfg.Seed,
+		Scheduler:  cfg.Scheduler,
 		Tracer:     cfg.Tracer,
 		Faults:     cfg.Faults,
 	}, func(i int) network.Node {
@@ -177,6 +178,7 @@ func RunPeterson(cfg ChangRobertsConfig) (AsyncRingResult, error) {
 	res.Elected = res.Leaders > 0
 	res.Messages = net.Metrics().MessagesSent
 	res.Time = float64(net.Now())
+	res.Events = net.Kernel().Executed()
 	res.Faults = net.FaultTelemetry()
 	res.Series = finishProbe(net, collector)
 	return res, nil

@@ -8,7 +8,27 @@ import (
 	"testing"
 
 	"abenet/internal/rng"
+	"abenet/internal/sim"
+	"abenet/internal/simtime"
 )
+
+// TestSweepPreservesLivelockIdentity: the sweep's error wrapping keeps the
+// kernel's typed livelock error errors.Is-able, so callers (the service, the
+// CLIs) can tell an exhausted event budget from any other run failure even
+// when it surfaced deep inside a parallel sweep.
+func TestSweepPreservesLivelockIdentity(t *testing.T) {
+	s := Sweep{Name: "livelock", Repetitions: 3, Seed: 1}
+	_, err := s.Run([]float64{1}, func(x float64, seed uint64) (Metrics, error) {
+		k := sim.New()
+		var spin func()
+		spin = func() { k.AfterFunc(1, spin) }
+		spin()
+		return nil, k.Run(simtime.Forever, 10)
+	})
+	if !errors.Is(err, sim.ErrMaxEvents) {
+		t.Fatalf("sweep error = %v, want errors.Is(_, sim.ErrMaxEvents)", err)
+	}
+}
 
 func TestSweepAggregates(t *testing.T) {
 	s := Sweep{Name: "test", Repetitions: 50, Seed: 1}

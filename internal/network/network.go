@@ -121,6 +121,12 @@ type Config struct {
 	Processing dist.Dist
 	// Seed determines every random choice in the run.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation by name
+	// (sim.SchedulerHeap, sim.SchedulerCalendar). Empty means the default
+	// heap. Every scheduler implements the same (time, seq) total order, so
+	// runs are byte-identical across choices — this knob trades queue
+	// performance characteristics only.
+	Scheduler string
 	// Anonymous networks panic if a protocol reads a node identity.
 	Anonymous bool
 	// Tracer observes events; nil disables tracing.
@@ -204,11 +210,16 @@ func New(cfg Config, makeNode func(i int) Node) (*Network, error) {
 		cfg.Clocks = clock.PerfectModel{}
 	}
 
+	kernel, err := sim.NewNamed(cfg.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+
 	n := cfg.Graph.N()
 	root := rng.New(cfg.Seed)
 	net := &Network{
 		cfg:      cfg,
-		kernel:   sim.New(),
+		kernel:   kernel,
 		nodes:    make([]Node, n),
 		ctxs:     make([]*Context, n),
 		links:    make([][]channel.Link, n),
@@ -316,6 +327,14 @@ func (net *Network) deliverTo(addr edgeAddress, payload any) {
 	}
 	net.metrics.MessagesDelivered++
 	if net.cfg.Tracer == nil {
+		if net.cfg.Processing == nil {
+			// Closure-free fast path: with instantaneous processing the
+			// queue model is a no-op (process would run the work inline),
+			// so the handler can be invoked directly. This is the
+			// per-delivery hot path for large untraced runs.
+			net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
+			return
+		}
 		net.process(addr.to, deadLetterCounter, func() {
 			net.nodes[addr.to].OnMessage(net.ctxs[addr.to], addr.inPort, payload)
 		})
@@ -484,7 +503,20 @@ type Context struct {
 	id   int
 	r    *rng.Source
 	proc *rng.Source
+
+	// timerCache memoises the fire handler per timer kind. Valid only when
+	// the network has no fault plan and no tracer: a fault guard captures
+	// the node's crash epoch at *set* time and a traced firing captures the
+	// setter's causal ref, so those handlers are necessarily per-set.
+	// Without either, the handler depends only on (node, kind) and one func
+	// value serves every timer of that kind — tick loops set millions.
+	timerCache []sim.Handler
 }
+
+// maxCachedTimerKinds bounds the per-node handler cache; protocols use
+// small dense kind constants, so anything larger falls back to a fresh
+// closure rather than growing the cache.
+const maxCachedTimerKinds = 64
 
 // N returns the network size. The paper's election algorithm assumes known
 // ring size n, so this is part of a node's a-priori knowledge.
@@ -634,6 +666,31 @@ func (c *Context) timerInstant(localDelta float64) simtime.Time {
 // is the event the node was processing when it *set* the timer, captured
 // here (SetLocalTimer runs inside that event's handler).
 func (c *Context) timerFire(kind int) sim.Handler {
+	if c.net.life == nil && c.net.cfg.Tracer == nil {
+		if kind >= 0 && kind < len(c.timerCache) {
+			if fire := c.timerCache[kind]; fire != nil {
+				return fire
+			}
+		}
+		k := kind
+		fire := func() {
+			c.net.metrics.TimersFired++
+			if c.net.cfg.Processing == nil {
+				c.net.nodes[c.id].OnTimer(c, k)
+				return
+			}
+			c.net.process(c.id, timerCounter, func() {
+				c.net.nodes[c.id].OnTimer(c, k)
+			})
+		}
+		if kind >= 0 && kind < maxCachedTimerKinds {
+			for len(c.timerCache) <= kind {
+				c.timerCache = append(c.timerCache, nil)
+			}
+			c.timerCache[kind] = fire
+		}
+		return fire
+	}
 	setCause := c.net.cause
 	fire := func() {
 		c.net.metrics.TimersFired++

@@ -68,6 +68,7 @@ func (p BenOr) Run(env Env) (Report, error) {
 		Clocks:         env.Clocks,
 		Processing:     env.Processing,
 		Seed:           env.Seed,
+		Scheduler:      env.Scheduler,
 		Horizon:        env.Horizon,
 		MaxEvents:      env.MaxEvents,
 		Tracer:         env.Tracer,
@@ -83,6 +84,7 @@ func (p BenOr) Run(env Env) (Report, error) {
 		Transmissions: res.Metrics.Transmissions,
 		Rounds:        res.Rounds,
 		Time:          res.Time,
+		Events:        res.Events,
 		Violations:    res.Violations,
 		Params:        res.Params,
 		Faults:        res.Faults,

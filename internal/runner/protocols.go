@@ -76,6 +76,7 @@ func (p Election) Run(env Env) (Report, error) {
 		Horizon:            env.Horizon,
 		MaxEvents:          env.MaxEvents,
 		Seed:               env.Seed,
+		Scheduler:          env.Scheduler,
 		Tracer:             env.Tracer,
 		Faults:             env.Faults,
 		Observe:            env.Observe,
@@ -90,6 +91,7 @@ func (p Election) Run(env Env) (Report, error) {
 		Messages:      res.Messages,
 		Transmissions: res.Transmissions,
 		Time:          res.Time,
+		Events:        res.Events,
 		Violations:    res.Violations,
 		Params:        res.Params,
 		Faults:        res.Faults,
@@ -181,6 +183,7 @@ func (ItaiRodehAsync) Run(env Env) (Report, error) {
 		Clocks:     env.Clocks,
 		Processing: env.Processing,
 		Seed:       env.Seed,
+		Scheduler:  env.Scheduler,
 		Horizon:    env.Horizon,
 		MaxEvents:  env.MaxEvents,
 		Tracer:     env.Tracer,
@@ -201,6 +204,7 @@ func asyncRingReport(res election.AsyncRingResult) Report {
 		Leaders:     res.Leaders,
 		Messages:    res.Messages,
 		Time:        res.Time,
+		Events:      res.Events,
 		Faults:      res.Faults,
 		Series:      res.Series,
 	}
@@ -267,6 +271,7 @@ func changRobertsConfig(env Env, a election.ChangRobertsArrangement) election.Ch
 		Clocks:      env.Clocks,
 		Processing:  env.Processing,
 		Seed:        env.Seed,
+		Scheduler:   env.Scheduler,
 		Horizon:     env.Horizon,
 		MaxEvents:   env.MaxEvents,
 		Tracer:      env.Tracer,
@@ -325,6 +330,7 @@ func (p Synchronized) Run(env Env) (Report, error) {
 		MaxRounds:     env.MaxRounds,
 		MaxEvents:     env.MaxEvents,
 		Seed:          env.Seed,
+		Scheduler:     env.Scheduler,
 		Anonymous:     p.Anonymous,
 	}, func(i int) syncnet.Node {
 		node := p.MakeNode(i)
@@ -474,13 +480,14 @@ func (p ClockSync) Run(env Env) (Report, error) {
 		rounds = env.MaxRounds
 	}
 	res, err := synchronizer.RunClockSync(synchronizer.ClockSyncConfig{
-		Graph:  graph,
-		Delay:  env.Delay,
-		Links:  env.Links,
-		Period: period,
-		Rounds: rounds,
-		Clocks: env.Clocks,
-		Seed:   env.Seed,
+		Graph:     graph,
+		Delay:     env.Delay,
+		Links:     env.Links,
+		Period:    period,
+		Rounds:    rounds,
+		Clocks:    env.Clocks,
+		Seed:      env.Seed,
+		Scheduler: env.Scheduler,
 	})
 	if err != nil {
 		return Report{}, err

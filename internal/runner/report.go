@@ -33,6 +33,13 @@ type Report struct {
 	Transmissions uint64
 	// Rounds is the number of rounds driven (round-based protocols only).
 	Rounds int
+	// Events is the number of kernel events the run executed — the
+	// denominator of events/sec throughput measurements. A batch of
+	// same-instant deliveries counts as one event. 0 for engines without
+	// an event kernel (the native round engine and the live runtime).
+	// Deliberately excluded from Metrics(): it measures the engine, not
+	// the protocol, so it must not widen every sweep's metric key set.
+	Events uint64
 	// Time is the virtual time at which the run ended. For the live
 	// (goroutine) runtime it is the wall-clock duration in seconds.
 	Time float64

@@ -28,6 +28,7 @@ import (
 	"abenet/internal/faults"
 	"abenet/internal/network"
 	"abenet/internal/probe"
+	"abenet/internal/sim"
 	"abenet/internal/simtime"
 	"abenet/internal/topology"
 	"abenet/internal/trace"
@@ -68,6 +69,15 @@ type Env struct {
 	Processing dist.Dist
 	// Seed determines the whole run.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation by name:
+	// sim.SchedulerHeap (the default 4-ary heap) or sim.SchedulerCalendar
+	// (a calendar queue with O(1) amortised operations, built for
+	// million-node runs). Empty means the heap. Every scheduler implements
+	// the same (time, seq) total order, so a run is byte-identical across
+	// choices — this is a performance knob, never a semantics knob, and it
+	// is therefore excluded from spec hashes. Protocols without a kernel
+	// (the round engines and the live runtime) ignore it.
+	Scheduler string
 	// Horizon bounds virtual time for event-driven protocols; 0 means
 	// unbounded.
 	Horizon simtime.Time
@@ -156,6 +166,8 @@ var (
 	// ErrEnvTrace: the trace config fails trace.Config.Validate, or Trace
 	// and a caller-supplied Tracer are both set.
 	ErrEnvTrace = errors.New("runner: invalid trace config")
+	// ErrEnvScheduler: Env.Scheduler names no registered kernel scheduler.
+	ErrEnvScheduler = errors.New("runner: unknown scheduler")
 )
 
 // The structured capability-rejection errors: a protocol that cannot
@@ -190,6 +202,9 @@ func (e Env) Validate() error {
 	}
 	if e.Links != nil && e.Delay != nil && e.Delta == 0 {
 		return fmt.Errorf("%w: both Links and Delay are set; declare Delta to state which mean parameterises the protocol defaults (Links wins at run time)", ErrEnvAmbiguousDelay)
+	}
+	if !sim.ValidScheduler(e.Scheduler) {
+		return fmt.Errorf("%w: %q (valid: %v, or empty for the default)", ErrEnvScheduler, e.Scheduler, sim.SchedulerNames())
 	}
 	if err := e.Faults.Validate(n); err != nil {
 		return fmt.Errorf("%w: %v", ErrEnvFaults, err)

@@ -92,6 +92,7 @@ func TestRunMatchesDirectEngineCalls(t *testing.T) {
 			Messages:       rep.Messages,
 			Transmissions:  rep.Transmissions,
 			Time:           rep.Time,
+			Events:         rep.Events,
 			Activations:    ex.Activations,
 			Knockouts:      ex.Knockouts,
 			ResidualPurges: ex.ResidualPurges,

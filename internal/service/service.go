@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"abenet/internal/runner"
+	"abenet/internal/sim"
 	"abenet/internal/spec"
 	"abenet/internal/store"
 	"abenet/internal/trace"
@@ -140,6 +141,11 @@ type View struct {
 	Result *Result `json:"result,omitempty"`
 	// Error is the failure message once Status is failed.
 	Error string `json:"error,omitempty"`
+	// Failure classifies a failed job: "livelock" when the run exhausted
+	// its event budget without finishing (the kernel's typed
+	// sim.ErrMaxEvents — raise env.max_events or fix the scenario), "error"
+	// for everything else. Empty unless Status is failed.
+	Failure string `json:"failure,omitempty"`
 }
 
 // job is the service-internal state of one submission.
@@ -152,6 +158,7 @@ type job struct {
 	cacheable bool
 	result    *Result
 	err       string
+	failure   string
 	cacheHits int
 	dedups    int
 	done      chan struct{}
@@ -174,6 +181,7 @@ func (j *job) view() View {
 		CacheHits:    j.cacheHits,
 		Deduplicated: j.dedups,
 		Error:        j.err,
+		Failure:      j.failure,
 	}
 	if j.status == StatusDone {
 		v.Result = j.result
@@ -603,6 +611,7 @@ func (s *Service) worker() {
 		case err != nil:
 			j.status = StatusFailed
 			j.err = err.Error()
+			j.failure = classifyFailure(err)
 			j.events.finish(StatusFailed, j.err)
 		default:
 			j.status = StatusDone
@@ -616,6 +625,17 @@ func (s *Service) worker() {
 		s.retireLocked(j)
 		s.mu.Unlock()
 	}
+}
+
+// classifyFailure buckets a failed run for operators. The kernel's typed
+// livelock error survives every wrapping layer (runner, harness sweeps wrap
+// with %w), so errors.Is sees through a sweep whose worst repetition ran out
+// of budget just as well as a single run's.
+func classifyFailure(err error) string {
+	if errors.Is(err, sim.ErrMaxEvents) {
+		return "livelock"
+	}
+	return "error"
 }
 
 // execute runs one scenario (guarding against engine panics: a served

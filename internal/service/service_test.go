@@ -310,6 +310,9 @@ func TestFailedJobNotCached(t *testing.T) {
 	if v.Status != StatusFailed || v.Error == "" {
 		t.Fatalf("job ended %s (%q), want failed with a message", v.Status, v.Error)
 	}
+	if v.Failure != "error" {
+		t.Fatalf("failure class = %q, want %q", v.Failure, "error")
+	}
 	if v.Result != nil {
 		t.Fatal("failed job carries a result")
 	}
@@ -318,6 +321,38 @@ func TestFailedJobNotCached(t *testing.T) {
 		t.Fatal("failure was served from cache")
 	}
 	await(t, svc, v2.ID)
+}
+
+// TestLivelockClassified: a run that exhausts its event budget is a
+// failure of a distinguishable kind — the kernel's typed sim.ErrMaxEvents
+// survives the runner's wrapping, and the view classifies it "livelock"
+// (versus "error" for everything else, pinned above).
+func TestLivelockClassified(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+
+	ps, err := spec.ForProtocol(runner.Election{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five events cannot finish a four-node election: the run trips the
+	// livelock guard before any leader emerges.
+	sp := &spec.Spec{
+		Version:  spec.Version,
+		Env:      spec.EnvSpec{N: 4, Seed: 1, MaxEvents: 5},
+		Protocol: ps,
+	}
+	v, err := svc.Submit(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = await(t, svc, v.ID)
+	if v.Status != StatusFailed {
+		t.Fatalf("job ended %s (%q), want failed", v.Status, v.Error)
+	}
+	if v.Failure != "livelock" {
+		t.Fatalf("failure class = %q (%q), want %q", v.Failure, v.Error, "livelock")
+	}
 }
 
 // TestNondeterministicNeverCached: the live runtime executes but its

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"sort"
+
+	"abenet/internal/simtime"
+)
+
+// calendarScheduler is a calendar queue (Brown 1988; the same family as
+// ns-3's calendar scheduler): a wheel of buckets, each covering one
+// contiguous time window of width `width`, plus an unsorted overflow area
+// for events beyond the wheel's horizon. Enqueue and dequeue are amortized
+// O(1) — at million-node populations that beats the heap's O(log n)
+// reshuffle per event, which is the point of having it.
+//
+// # Exact (at, seq) order
+//
+// Buckets partition [wheelStart, wheelEnd) into windows that are monotone
+// in time, each bucket keeps its entries sorted by (at, seq), and events
+// with equal instants always land in the same bucket (the bucket index is a
+// function of the instant alone). Overflow entries all lie at or beyond
+// wheelEnd, i.e. after every wheel entry. The earliest live event is
+// therefore the front of the first non-empty bucket at or after the cursor
+// — the pop sequence is exactly the (at, seq) total order, byte-identical
+// to the heap's. The differential tests in this package pin that.
+//
+// Keeping buckets sorted also keeps same-instant bursts cheap: seq is
+// monotone, so a burst of equal-instant schedules (a million synchronized
+// tick timers, say) appends at the bucket tail in O(1) each and pops from
+// the bucket head in O(1) each. An unsorted bucket would pay a full scan
+// per pop — quadratic in the burst size.
+//
+// # Invariants
+//
+//   - overflow entries have at >= wheelEnd;
+//   - no live wheel entry sits in a bucket before cursor (pops advance the
+//     cursor to the popped bucket, and nothing can be scheduled before the
+//     kernel's current instant, which lies in the cursor's window);
+//   - bucket entries evs[head:] are sorted by (at, seq); evs[:head] are
+//     consumed slots awaiting reuse;
+//   - slots (Len) stays ≤ 2·live+compactMinLen via the same
+//     dead-outnumbers-live sweep trigger the heap uses.
+//
+// Resizes (grow when the wheel overfills, shrink when it drains, promote
+// the overflow when the wheel empties) rebuild the wheel from the sorted
+// live set; the triggers depend only on counters, so the rebuild schedule —
+// like everything else here — is a deterministic function of the workload.
+type calendarScheduler struct {
+	buckets    []calBucket
+	width      float64 // time width of one bucket window
+	wheelStart float64 // inclusive lower edge of bucket 0's window
+	wheelEnd   float64 // exclusive upper edge of the last bucket's window
+	cursor     int     // no live wheel entries in buckets before this one
+	wheelLive  int     // live entries in the wheel
+	overLive   int     // live entries in the overflow area
+	dead       int     // cancelled entries still occupying slots
+	slots      int     // occupied storage slots incl. dead (Len)
+
+	overflow []event // unsorted; every entry has at >= wheelEnd
+	scratch  []event // rebuild staging buffer, retained across rebuilds
+
+	cacheValid  bool // PeekTime caches its bucket search for the next Pop
+	cacheBucket int
+}
+
+// calBucket is one time window of the wheel. evs[head:] are the entries
+// still queued (dead ones included until reclaimed), sorted by (at, seq);
+// evs[:head] are already-consumed slots, zeroed and reused once the bucket
+// drains.
+type calBucket struct {
+	evs  []event
+	head int
+}
+
+const (
+	// overflowIdx is the Ticket.idx sentinel for entries parked in the
+	// overflow area (Ticket.slot is the position there). Distinct from
+	// doneIdx so Cancel can tell the areas apart.
+	overflowIdx = -2
+
+	// calMinBuckets/calMaxBuckets bound the wheel size: grown and shrunk in
+	// powers of two so resize costs amortize against the schedules/pops
+	// that triggered them.
+	calMinBuckets = 64
+	calMaxBuckets = 1 << 20
+)
+
+func newCalendarScheduler() *calendarScheduler {
+	return &calendarScheduler{
+		buckets:    make([]calBucket, calMinBuckets),
+		width:      1,
+		wheelStart: 0,
+		wheelEnd:   float64(calMinBuckets),
+	}
+}
+
+func (c *calendarScheduler) Name() string { return SchedulerCalendar }
+
+func (c *calendarScheduler) Pending() int { return c.wheelLive + c.overLive }
+
+func (c *calendarScheduler) Len() int { return c.slots }
+
+// bucketIndex maps an instant within [wheelStart, wheelEnd) to its bucket.
+// Clamping keeps the result in range under floating-point rounding (and
+// files instants before wheelStart — possible after a rebuild whose
+// earliest event lay ahead of the current instant — under bucket 0, which
+// then simply covers a wider window). The map is monotone non-decreasing in
+// at, which is all cross-bucket ordering needs.
+func (c *calendarScheduler) bucketIndex(at float64) int {
+	i := int((at - c.wheelStart) / c.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.buckets) {
+		i = len(c.buckets) - 1
+	}
+	return i
+}
+
+func (c *calendarScheduler) Schedule(ev event) {
+	c.cacheValid = false
+	at := float64(ev.at)
+	c.place(ev, at)
+	c.slots++
+	if c.wheelLive > 2*len(c.buckets) && len(c.buckets) < calMaxBuckets {
+		c.rebuild()
+	}
+}
+
+// place files ev under the current wheel geometry: into its time-window
+// bucket, or into the overflow area when it lies beyond the wheel horizon.
+// Counter updates are limited to the live counts — the caller owns slots.
+func (c *calendarScheduler) place(ev event, at float64) {
+	if at >= c.wheelEnd {
+		if ev.ticket != nil {
+			ev.ticket.idx = overflowIdx
+			ev.ticket.slot = len(c.overflow)
+		}
+		c.overflow = append(c.overflow, ev)
+		c.overLive++
+	} else {
+		c.insert(c.bucketIndex(at), ev)
+		c.wheelLive++
+	}
+}
+
+// insert places ev into bucket b, keeping evs[head:] sorted by (at, seq).
+// The fast path is an O(1) append: seq is monotone, so new entries sort
+// after every existing entry unless they are strictly earlier in time.
+func (c *calendarScheduler) insert(b int, ev event) {
+	bk := &c.buckets[b]
+	if n := len(bk.evs); n == bk.head || !less(&ev, &bk.evs[n-1]) {
+		if ev.ticket != nil {
+			ev.ticket.idx = b
+			ev.ticket.slot = n
+		}
+		bk.evs = append(bk.evs, ev)
+		return
+	}
+	// Slow path: binary-search the insertion point and shift the tail,
+	// re-pointing tickets of the shifted entries.
+	lo, hi := bk.head, len(bk.evs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(&bk.evs[mid], &ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	bk.evs = append(bk.evs, event{})
+	copy(bk.evs[lo+1:], bk.evs[lo:])
+	bk.evs[lo] = ev
+	for i := lo; i < len(bk.evs); i++ {
+		if t := bk.evs[i].ticket; t != nil {
+			t.idx = b
+			t.slot = i
+		}
+	}
+}
+
+// findMin locates the bucket holding the earliest live event, reclaiming
+// dead entries it walks over. It must only be called when live events
+// exist somewhere; it promotes the overflow into a fresh wheel if the
+// wheel itself is empty.
+func (c *calendarScheduler) findMin() int {
+	if c.wheelLive == 0 {
+		c.rebuild() // promote the overflow into a fresh wheel
+	}
+	for b := c.cursor; b < len(c.buckets); b++ {
+		bk := &c.buckets[b]
+		for bk.head < len(bk.evs) && bk.evs[bk.head].dead {
+			bk.evs[bk.head] = event{}
+			bk.head++
+			c.dead--
+			c.slots--
+		}
+		if bk.head < len(bk.evs) {
+			return b
+		}
+		if bk.head > 0 {
+			bk.evs = bk.evs[:0]
+			bk.head = 0
+		}
+	}
+	panic("sim: calendar queue lost a live event")
+}
+
+func (c *calendarScheduler) PeekTime() (simtime.Time, bool) {
+	if c.wheelLive+c.overLive == 0 {
+		return 0, false
+	}
+	if !c.cacheValid {
+		c.cacheBucket = c.findMin()
+		c.cacheValid = true
+	}
+	bk := &c.buckets[c.cacheBucket]
+	return bk.evs[bk.head].at, true
+}
+
+func (c *calendarScheduler) Pop() (event, bool) {
+	if c.wheelLive+c.overLive == 0 {
+		return event{}, false
+	}
+	b := c.cacheBucket
+	if !c.cacheValid {
+		b = c.findMin()
+	}
+	c.cacheValid = false
+	bk := &c.buckets[b]
+	ev := bk.evs[bk.head]
+	bk.evs[bk.head] = event{} // release the handler's captures
+	bk.head++
+	if bk.head == len(bk.evs) {
+		bk.evs = bk.evs[:0]
+		bk.head = 0
+	}
+	c.cursor = b
+	c.wheelLive--
+	c.slots--
+	c.maybeCompact()
+	if len(c.buckets) > calMinBuckets && c.wheelLive+c.overLive < len(c.buckets)/8 {
+		c.rebuild()
+	}
+	return ev, true
+}
+
+func (c *calendarScheduler) Cancel(t *Ticket) {
+	c.cacheValid = false
+	var ev *event
+	if t.idx == overflowIdx {
+		ev = &c.overflow[t.slot]
+		c.overLive--
+	} else {
+		ev = &c.buckets[t.idx].evs[t.slot]
+		c.wheelLive--
+	}
+	ev.dead = true
+	ev.fn = nil // release captured state promptly
+	ev.afn = nil
+	ev.ticket = nil
+	c.dead++
+	c.maybeCompact()
+}
+
+// maybeCompact applies the same trigger rule as the heap: sweep once dead
+// entries outnumber live ones and the queue is big enough for the sweep to
+// pay off. This is what keeps Len ≤ 2·Pending+compactMinLen.
+func (c *calendarScheduler) maybeCompact() {
+	if c.slots >= compactMinLen && c.dead > c.slots/2 {
+		c.compact()
+	}
+}
+
+// compact removes every dead entry in one pass, preserving each bucket's
+// sorted order and re-pointing tickets. Pop order is unaffected.
+func (c *calendarScheduler) compact() {
+	for b := range c.buckets {
+		bk := &c.buckets[b]
+		kept := bk.evs[:0]
+		for i := bk.head; i < len(bk.evs); i++ {
+			if !bk.evs[i].dead {
+				kept = append(kept, bk.evs[i])
+			}
+		}
+		for i := len(kept); i < len(bk.evs); i++ {
+			bk.evs[i] = event{}
+		}
+		bk.evs = kept
+		bk.head = 0
+		for i := range bk.evs {
+			if t := bk.evs[i].ticket; t != nil {
+				t.idx = b
+				t.slot = i
+			}
+		}
+	}
+	kept := c.overflow[:0]
+	for i := range c.overflow {
+		if !c.overflow[i].dead {
+			kept = append(kept, c.overflow[i])
+		}
+	}
+	for i := len(kept); i < len(c.overflow); i++ {
+		c.overflow[i] = event{}
+	}
+	c.overflow = kept
+	for i := range c.overflow {
+		if t := c.overflow[i].ticket; t != nil {
+			t.idx = overflowIdx
+			t.slot = i
+		}
+	}
+	c.dead = 0
+	c.slots = len(c.overflow)
+	for b := range c.buckets {
+		c.slots += len(c.buckets[b].evs) - c.buckets[b].head
+	}
+	c.cacheValid = false
+}
+
+// setHorizon derives wheelEnd from the current geometry. At extreme
+// magnitudes (wheelStart near float64's upper range) the nominal horizon
+// wheelStart + nb·width can round back to wheelStart, which would strand
+// every event — the earliest included — in the overflow area and deadlock
+// the promote-on-empty rebuild. Doubling the width until the horizon
+// registers keeps the wheel non-degenerate at any representable instant.
+func (c *calendarScheduler) setHorizon() {
+	c.wheelEnd = c.wheelStart + float64(len(c.buckets))*c.width
+	for c.wheelEnd <= c.wheelStart {
+		c.width *= 2
+		c.wheelEnd = c.wheelStart + float64(len(c.buckets))*c.width
+	}
+}
+
+// rebuild re-seeds the wheel from the live set, dropping dead entries for
+// free along the way. Large populations get a full resize — bucket count
+// sized to the population, width chosen from the interquartile spread of
+// event instants (robust against far-future outliers, which go back to the
+// overflow), wheelStart at the earliest event. Small populations (at most
+// one event per bucket of a minimum wheel) keep the current geometry and
+// just re-anchor wheelStart — that path allocates nothing, which matters
+// because a lone self-rescheduling timer marching past the wheel horizon
+// triggers a rebuild per event.
+func (c *calendarScheduler) rebuild() {
+	c.cacheValid = false
+	all := c.scratch[:0]
+	for b := range c.buckets {
+		bk := &c.buckets[b]
+		for i := bk.head; i < len(bk.evs); i++ {
+			if !bk.evs[i].dead {
+				all = append(all, bk.evs[i])
+			}
+			bk.evs[i] = event{} // release refs in the vacated slot
+		}
+		bk.evs = bk.evs[:0]
+		bk.head = 0
+	}
+	for i := range c.overflow {
+		if !c.overflow[i].dead {
+			all = append(all, c.overflow[i])
+		}
+		c.overflow[i] = event{}
+	}
+	c.overflow = c.overflow[:0]
+	c.scratch = all[:0] // retain staging capacity for the next rebuild
+	c.dead = 0
+	c.slots = len(all)
+	c.cursor = 0
+	c.wheelLive, c.overLive = 0, 0
+	if len(all) == 0 {
+		return // keep the current geometry; an empty wheel is fine
+	}
+
+	if len(all) <= calMinBuckets {
+		// Re-anchor only. With so few events any width works (a bucket
+		// holds a short sorted run), so keep it and avoid the sort.
+		if len(c.buckets) != calMinBuckets {
+			c.buckets = make([]calBucket, calMinBuckets) // shrink a grown wheel
+		}
+		minAt := all[0].at
+		for i := 1; i < len(all); i++ {
+			if all[i].at < minAt {
+				minAt = all[i].at
+			}
+		}
+		if !(c.width > 0) {
+			c.width = 1
+		}
+		c.wheelStart = float64(minAt)
+		c.setHorizon()
+		for i := range all {
+			c.place(all[i], float64(all[i].at))
+		}
+		return
+	}
+
+	sort.Slice(all, func(i, j int) bool { return less(&all[i], &all[j]) })
+	nb := calMinBuckets
+	for nb < len(all) && nb < calMaxBuckets {
+		nb <<= 1
+	}
+	// Width from the middle half of the instants: a handful of far-future
+	// stragglers must not stretch the windows until everything piles into
+	// bucket 0.
+	q1 := float64(all[len(all)/4].at)
+	q3 := float64(all[3*len(all)/4].at)
+	width := (q3 - q1) / float64(len(all)/2+1) * 3
+	if !(width > 0) || width != width { // zero spread, or not finite
+		width = 1
+	}
+	if nb != len(c.buckets) {
+		c.buckets = make([]calBucket, nb)
+	}
+	c.width = width
+	c.wheelStart = float64(all[0].at)
+	c.setHorizon()
+	for i := range all {
+		// Sorted input, so place's insert always takes its append fast path.
+		c.place(all[i], float64(all[i].at))
+	}
+}

@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"abenet/internal/rng"
+	"abenet/internal/simtime"
+)
+
+func newCalendarKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k, err := NewNamed(SchedulerCalendar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestSchedulerRegistry pins the registry surface: the shipped names
+// resolve, the empty name means the default heap, and unknown names fail
+// loudly enough to catch a typo in a spec file.
+func TestSchedulerRegistry(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		if !ValidScheduler(name) {
+			t.Errorf("ValidScheduler(%q) = false for a registered name", name)
+		}
+		k, err := NewNamed(name)
+		if err != nil {
+			t.Fatalf("NewNamed(%q): %v", name, err)
+		}
+		if k.SchedulerName() != name {
+			t.Errorf("NewNamed(%q).SchedulerName() = %q", name, k.SchedulerName())
+		}
+	}
+	if !ValidScheduler("") {
+		t.Error("ValidScheduler(\"\") = false, want true (default)")
+	}
+	if New().SchedulerName() != SchedulerHeap {
+		t.Errorf("New() scheduler = %q, want the heap default", New().SchedulerName())
+	}
+	if k, err := NewNamed(""); err != nil || k.SchedulerName() != SchedulerHeap {
+		t.Errorf("NewNamed(\"\") = (%v, %v), want the heap default", k, err)
+	}
+	if ValidScheduler("ladder") {
+		t.Error("ValidScheduler(\"ladder\") = true for an unknown name")
+	}
+	if _, err := NewNamed("ladder"); err == nil {
+		t.Error("NewNamed(\"ladder\") succeeded, want an error")
+	}
+	if NewWith(nil).SchedulerName() != SchedulerHeap {
+		t.Error("NewWith(nil) did not fall back to the heap default")
+	}
+}
+
+// TestCalendarMatchesHeapPopOrder is the scheduler determinism contract at
+// kernel level: a pseudo-random workload of ticketed and ticketless
+// schedules, same-instant bursts, cancellations and interleaved partial
+// runs must execute in the identical sequence on both schedulers.
+func TestCalendarMatchesHeapPopOrder(t *testing.T) {
+	type step struct {
+		at  simtime.Time
+		id  int
+		now simtime.Time
+	}
+	drive := func(name string) []step {
+		k, err := NewNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(4242)
+		var got []step
+		id := 0
+		var tickets []*Ticket
+		scheduleBurst := func(n int) {
+			for i := 0; i < n; i++ {
+				// A mix of clustered instants (forcing same-bucket,
+				// same-instant collisions), spread instants, and far-future
+				// outliers (forcing the calendar's overflow area).
+				var at simtime.Time
+				switch r.Intn(10) {
+				case 0:
+					at = k.Now() // same-instant burst
+				case 1:
+					at = k.Now().Add(simtime.Duration(1000 + r.Float64()*1e6)) // far future
+				case 2:
+					at = k.Now().Add(simtime.Duration(float64(r.Intn(20)))) // integer collisions
+				default:
+					at = k.Now().Add(simtime.Duration(r.Float64() * 50))
+				}
+				myID := id
+				id++
+				record := func() { got = append(got, step{at, myID, k.Now()}) }
+				if r.Bool(0.3) {
+					tk := k.At(at, record)
+					if r.Bool(0.5) {
+						tk.Cancel()
+					} else {
+						tickets = append(tickets, tk)
+					}
+				} else {
+					k.AtFunc(at, record)
+				}
+			}
+		}
+		scheduleBurst(500)
+		for phase := 0; phase < 20; phase++ {
+			// Run a bounded slice of the schedule, then mutate it again —
+			// cancellations included — so compaction and rebuilds trigger at
+			// varied points.
+			for i := 0; i < 100 && k.Step(); i++ {
+			}
+			for len(tickets) > 3 {
+				tk := tickets[r.Intn(len(tickets))]
+				tk.Cancel()
+				tickets = tickets[:len(tickets)-1]
+			}
+			scheduleBurst(200)
+		}
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	heapSeq := drive(SchedulerHeap)
+	calSeq := drive(SchedulerCalendar)
+	if len(heapSeq) != len(calSeq) {
+		t.Fatalf("heap ran %d events, calendar %d", len(heapSeq), len(calSeq))
+	}
+	for i := range heapSeq {
+		if heapSeq[i] != calSeq[i] {
+			t.Fatalf("execution diverged at event %d: heap %+v, calendar %+v", i, heapSeq[i], calSeq[i])
+		}
+	}
+}
+
+// TestCalendarCancelHeavyStaysBounded mirrors the heap's 100k-cancel test:
+// the calendar queue must honour the same compaction bound,
+// QueueLen ≤ 2·Pending+compactMinLen.
+func TestCalendarCancelHeavyStaysBounded(t *testing.T) {
+	k := newCalendarKernel(t)
+	const total = 100_000
+	live := 0
+	tickets := make([]*Ticket, 0, total)
+	for i := 0; i < total; i++ {
+		at := simtime.Time(1 + i%997)
+		tickets = append(tickets, k.At(at, func() {}))
+		if i%1000 != 0 {
+			tickets[len(tickets)-1].Cancel()
+		} else {
+			live++
+		}
+	}
+	if got := k.Pending(); got != live {
+		t.Fatalf("Pending = %d, want %d", got, live)
+	}
+	if max := 2*live + compactMinLen; k.QueueLen() > max {
+		t.Fatalf("calendar holds %d slots for %d live events (bound %d): cancellations are not compacted", k.QueueLen(), live, max)
+	}
+	pending := 0
+	for _, tk := range tickets {
+		if tk.Pending() {
+			pending++
+		}
+	}
+	if pending != live {
+		t.Fatalf("%d tickets still pending, want %d", pending, live)
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if int(k.Executed()) != live {
+		t.Fatalf("executed %d events, want the %d live ones", k.Executed(), live)
+	}
+	if k.QueueLen() != 0 || k.Pending() != 0 {
+		t.Fatalf("queue not drained: len=%d pending=%d", k.QueueLen(), k.Pending())
+	}
+}
+
+// TestCalendarCompactionPreservesOrder is the calendar twin of the heap's
+// compaction-order test: cancel a pseudo-random half of a large schedule
+// and check the survivors still run in exact (time, insertion) order.
+func TestCalendarCompactionPreservesOrder(t *testing.T) {
+	k := newCalendarKernel(t)
+	r := rng.New(99)
+	type key struct {
+		at  simtime.Time
+		seq int
+	}
+	var want []key
+	var got []key
+	for i := 0; i < 5000; i++ {
+		i := i
+		at := simtime.Time(r.Float64() * 100)
+		tk := k.At(at, func() { got = append(got, key{at, i}) })
+		if r.Bool(0.5) {
+			tk.Cancel()
+		} else {
+			want = append(want, key{at, i})
+		}
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalendarSimtimeExtremes rotates the wheel across wildly mixed
+// magnitudes — sub-width gaps, instants far beyond any sane wheel horizon,
+// and the largest finite times float64 can hold — and checks exact
+// ordering survives. This is where naive year/bucket arithmetic overflows
+// or collapses to NaN.
+func TestCalendarSimtimeExtremes(t *testing.T) {
+	times := []simtime.Time{
+		0, 1e-12, 1e-9, 0.5, 1, 2, 63, 64, 65, 1000,
+		1e6, 1e6 + 1e-6, 1e9, 1e15, 1e18, 1e30, 1e100,
+		1e300, math.MaxFloat64 / 8, math.MaxFloat64 / 4,
+	}
+	k := newCalendarKernel(t)
+	var got []simtime.Time
+	// Schedule in a fixed scrambled order so insertion is non-monotone.
+	perm := []int{7, 0, 19, 3, 11, 15, 1, 18, 5, 9, 13, 2, 17, 4, 10, 6, 16, 8, 12, 14}
+	for _, i := range perm {
+		at := times[i]
+		k.AtFunc(at, func() { got = append(got, at) })
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), len(times))
+	}
+	for i := range times {
+		if got[i] != times[i] {
+			t.Fatalf("order diverged at %d: got %v, want %v", i, got[i], times[i])
+		}
+	}
+	if k.Now() != math.MaxFloat64/4 {
+		t.Fatalf("final time = %v, want MaxFloat64/4", k.Now())
+	}
+	// The wheel must keep rotating after the far jump: a fresh near-term
+	// schedule relative to the new now still works.
+	fired := false
+	k.AtFunc(k.Now(), func() { fired = true })
+	if err := k.Run(simtime.Forever, 0); err != nil || !fired {
+		t.Fatalf("post-extreme scheduling broken: err=%v fired=%v", err, fired)
+	}
+}
+
+// TestCalendarMarchingTimerAllocations pins the small-rebuild path: a lone
+// self-rescheduling timer walking far past the wheel horizon (the tick-loop
+// shape that dominates large runs) must not allocate per event, even
+// though every firing exhausts the wheel and forces a re-anchor.
+func TestCalendarMarchingTimerAllocations(t *testing.T) {
+	k := newCalendarKernel(t)
+	fn := func() {}
+	for i := 0; i < 128; i++ { // warm slices
+		k.AfterFunc(1000, fn)
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.AfterFunc(1000, fn) // 1000 ≫ width·buckets: always beyond the horizon
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("marching AfterFunc+Run allocates %g objects per event, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.AtFunc(k.Now(), fn)
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("same-instant AtFunc+Run allocates %g objects per event, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.At(k.Now().Add(1), fn).Cancel()
+	}); avg != 1 {
+		t.Errorf("At+Cancel allocates %g objects per event, want exactly the 1 ticket", avg)
+	}
+}
+
+// TestCalendarSameInstantFIFO pins the sorted-bucket fast path: a large
+// burst of events at one instant (synchronized tick timers) must run in
+// schedule order, and a second burst scheduled from inside the first must
+// run after it, exactly as on the heap.
+func TestCalendarSameInstantFIFO(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		k, err := NewNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 20_000
+		var got []int
+		at := simtime.Time(7)
+		for i := 0; i < n; i++ {
+			i := i
+			k.AtFunc(at, func() {
+				got = append(got, i)
+				if i < 100 {
+					k.AtFunc(at, func() { got = append(got, n+i) }) // reentrant same-instant
+				}
+			})
+		}
+		if err := k.Run(simtime.Forever, 0); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n+100 {
+			t.Fatalf("%s: ran %d events, want %d", name, len(got), n+100)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != i {
+				t.Fatalf("%s: position %d ran event %d, want FIFO order", name, i, got[i])
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if got[n+i] != n+i {
+				t.Fatalf("%s: reentrant event order broken at %d: got %d", name, i, got[n+i])
+			}
+		}
+	}
+}
+
+// TestCalendarPendingQueueLenInvariants walks a mixed workload and checks
+// the counting surface after every operation: Pending counts live events
+// exactly, QueueLen ≥ Pending, and the compaction bound holds throughout.
+func TestCalendarPendingQueueLenInvariants(t *testing.T) {
+	k := newCalendarKernel(t)
+	r := rng.New(7)
+	live := make(map[*Ticket]bool)
+	liveFns := 0
+	check := func(ctx string) {
+		t.Helper()
+		want := len(live) + liveFns
+		if got := k.Pending(); got != want {
+			t.Fatalf("%s: Pending = %d, want %d", ctx, got, want)
+		}
+		if k.QueueLen() < k.Pending() {
+			t.Fatalf("%s: QueueLen %d < Pending %d", ctx, k.QueueLen(), k.Pending())
+		}
+		if max := 2*k.Pending() + compactMinLen; k.QueueLen() > max {
+			t.Fatalf("%s: QueueLen %d exceeds compaction bound %d", ctx, k.QueueLen(), max)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		switch {
+		case r.Bool(0.45):
+			at := k.Now().Add(simtime.Duration(r.Float64() * 300))
+			if r.Bool(0.6) {
+				tk := k.At(at, func() {})
+				live[tk] = true
+			} else {
+				liveFns++
+				k.AtFunc(at, func() { liveFns-- })
+			}
+		case r.Bool(0.5) && len(live) > 0:
+			for tk := range live {
+				tk.Cancel()
+				delete(live, tk)
+				break
+			}
+		default:
+			before := k.Pending()
+			if k.Step() && before > 0 {
+				for tk := range live {
+					if !tk.Pending() {
+						delete(live, tk)
+					}
+				}
+			}
+		}
+		check("op")
+	}
+	if err := k.Run(simtime.Forever, 0); err != nil {
+		t.Fatal(err)
+	}
+	live = map[*Ticket]bool{}
+	check("drained")
+	if k.QueueLen() != 0 {
+		t.Fatalf("drained QueueLen = %d, want 0", k.QueueLen())
+	}
+}
+
+// TestErrMaxEventsTyped pins the livelock guard's error identity on both
+// schedulers: the wrapped error matches ErrMaxEvents via errors.Is, carries
+// the budget in its text, and is distinct from ErrStopped.
+func TestErrMaxEventsTyped(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		k, err := NewNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tick func()
+		tick = func() { k.AtFunc(k.Now(), tick) } // classic livelock: no time progress
+		k.AtFunc(0, tick)
+		err = k.Run(simtime.Forever, 100)
+		if !errors.Is(err, ErrMaxEvents) {
+			t.Fatalf("%s: Run = %v, want errors.Is(_, ErrMaxEvents)", name, err)
+		}
+		if errors.Is(err, ErrStopped) {
+			t.Fatalf("%s: livelock error also matches ErrStopped", name)
+		}
+		if k.Executed() != 100 {
+			t.Fatalf("%s: executed %d events before tripping, want exactly the budget", name, k.Executed())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"abenet/internal/simtime"
+)
+
+// Scheduler is the pending-event set behind a Kernel: everything between
+// "schedule this closure at that instant" and "hand me the earliest live
+// event". Two implementations ship with the package — the intrusive 4-ary
+// heap (SchedulerHeap, the default) and a calendar queue (SchedulerCalendar)
+// — selectable per run via NewNamed or the runner's Env.Scheduler field.
+//
+// Every implementation MUST pop events in exactly (at, seq) order: at is the
+// virtual instant, seq the kernel-assigned insertion sequence, and the pair
+// is a total order. The golden-seed pins and the cross-scheduler
+// differential suite depend on every scheduler producing byte-identical
+// executions, so an implementation that reorders equal-instant events —
+// however plausibly — is wrong, not merely different.
+//
+// The interface traffics in the package-private event type, so it is sealed:
+// outside packages select implementations by name but cannot add their own.
+// That is deliberate — the determinism contract above is enforced by this
+// package's differential tests, which can only cover schedulers they know
+// about.
+type Scheduler interface {
+	// Name returns the registry name ("heap", "calendar").
+	Name() string
+	// Schedule inserts ev. If ev.ticket is non-nil the implementation must
+	// keep the ticket's location fields current whenever it moves the entry.
+	Schedule(ev event)
+	// PeekTime returns the instant of the earliest live event, or ok=false
+	// when no live events remain.
+	PeekTime() (simtime.Time, bool)
+	// Pop removes and returns the earliest live event, or ok=false when no
+	// live events remain. Dead (cancelled) entries are skipped and reclaimed
+	// at the implementation's leisure.
+	Pop() (event, bool)
+	// Cancel marks the entry referenced by t dead and releases its captured
+	// state. The caller (Ticket.Cancel) guarantees t currently references a
+	// live entry owned by this scheduler.
+	Cancel(t *Ticket)
+	// Pending returns the number of live (scheduled, not cancelled) events.
+	Pending() int
+	// Len returns the number of storage slots in use, including dead
+	// entries not yet compacted away. Implementations must keep
+	// Len ≤ 2·Pending+compactMinLen by sweeping dead entries once they
+	// outnumber live ones — the same bound the heap has always enforced.
+	Len() int
+}
+
+// Registry names for the shipped schedulers. The empty string selects the
+// default (heap) everywhere a name is accepted.
+const (
+	SchedulerHeap     = "heap"
+	SchedulerCalendar = "calendar"
+)
+
+// SchedulerNames lists the valid scheduler names in presentation order.
+func SchedulerNames() []string {
+	return []string{SchedulerHeap, SchedulerCalendar}
+}
+
+// ValidScheduler reports whether name selects a known scheduler. The empty
+// string is valid and means the default.
+func ValidScheduler(name string) bool {
+	switch name {
+	case "", SchedulerHeap, SchedulerCalendar:
+		return true
+	}
+	return false
+}
+
+// NewScheduler constructs the named scheduler. The empty string selects the
+// default 4-ary heap.
+func NewScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "", SchedulerHeap:
+		return newHeapScheduler(), nil
+	case SchedulerCalendar:
+		return newCalendarScheduler(), nil
+	}
+	return nil, fmt.Errorf("sim: unknown scheduler %q (valid: %v)", name, SchedulerNames())
+}

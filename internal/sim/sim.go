@@ -10,22 +10,33 @@
 //
 // # Scheduling internals
 //
-// The pending-event set is an intrusive 4-ary min-heap ordered by
-// (instant, insertion sequence) and stored in a single value slice — the
-// slice doubles as the event pool, so steady-state scheduling allocates
-// nothing. There is no container/heap and no interface boxing on the hot
-// path. Two API tiers sit on top of it:
+// The pending-event set lives behind the Scheduler interface. Two
+// implementations ship with the package, selectable per run:
 //
-//   - AtFunc / AfterFunc — the ticketless fast path. No per-event
+//   - "heap" (default) — an intrusive 4-ary min-heap ordered by
+//     (instant, insertion sequence) and stored in a single value slice; the
+//     slice doubles as the event pool, so steady-state scheduling allocates
+//     nothing.
+//   - "calendar" — a calendar queue (Brown 1988, as in ns-3): a wheel of
+//     time-windowed buckets with amortized O(1) enqueue/dequeue, which wins
+//     at very large pending-event populations (million-node runs) where the
+//     heap's O(log n) reshuffle per event starts to bite.
+//
+// Both pop events in exactly (instant, sequence) order, so executions are
+// byte-identical across schedulers — the differential suite pins that.
+//
+// Two API tiers sit on top of the scheduler:
+//
+//   - AtFunc / AfterFunc / AtArg — the ticketless fast path. No per-event
 //     allocation at all; use these whenever the caller never cancels
 //     (message deliveries, self-rescheduling tick loops, fault timelines).
 //   - At / After — allocate one *Ticket so the event can be cancelled
-//     later. Cancellation marks the heap entry dead in place; dead entries
-//     are skipped on pop and compacted away wholesale once they outnumber
-//     the live ones, so cancel-heavy workloads (ARQ retransmit timers)
-//     cannot bloat the heap.
+//     later. Cancellation marks the entry dead in place; dead entries are
+//     skipped on pop and compacted away wholesale once they outnumber the
+//     live ones, so cancel-heavy workloads (ARQ retransmit timers) cannot
+//     bloat the schedule.
 //
-// Pending() is O(1): the kernel tracks the live-event count directly.
+// Pending() is O(1): the scheduler tracks the live-event count directly.
 package sim
 
 import (
@@ -39,23 +50,37 @@ import (
 // before reaching its horizon or draining its schedule.
 var ErrStopped = errors.New("sim: stopped")
 
+// ErrMaxEvents is returned (wrapped, with the budget and the virtual time
+// it was hit at) by Run when more than maxEvents events execute. It is the
+// kernel's livelock guard; match it with errors.Is to distinguish a
+// runaway protocol from other run failures.
+var ErrMaxEvents = errors.New("sim: event budget exceeded (possible livelock)")
+
 // Handler is a scheduled piece of work. It runs at its scheduled virtual
 // instant and may schedule further events.
 type Handler func()
 
+// ArgHandler is a scheduled piece of work that receives a small argument at
+// execution time. It exists so hot paths can reuse one long-lived func value
+// (typically a method value) across many events instead of allocating a
+// fresh closure per event — see Kernel.AtArg.
+type ArgHandler func(arg uint32)
+
 // event is one entry in the pending-event set. Events are stored by value
-// inside the kernel's heap slice; they are never heap-allocated
+// inside the scheduler's slices; they are never heap-allocated
 // individually.
 type event struct {
 	at     simtime.Time
 	seq    uint64 // tie-break: events at equal instants run in schedule order
 	fn     Handler
+	afn    ArgHandler // alternative to fn: runs as afn(arg); see AtArg
+	arg    uint32
 	ticket *Ticket // non-nil only for ticketed (cancellable) events
 	dead   bool    // cancelled; skipped on pop, removed by compaction
 }
 
 // less orders events by (at, seq). seq is unique per kernel, so the order
-// is total and every correct heap pops the exact same sequence — the
+// is total and every correct scheduler pops the exact same sequence — the
 // golden-seed pins depend on that.
 func less(a, b *event) bool {
 	if a.at != b.at {
@@ -64,51 +89,52 @@ func less(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+// doneIdx marks a ticket whose event already ran or was cancelled. It is
+// deliberately distinct from the schedulers' internal location encodings
+// (the calendar queue uses another negative sentinel for its overflow
+// area), so only -1 ever means "gone".
+const doneIdx = -1
+
 // Ticket identifies a scheduled event so it can be cancelled. The zero value
 // is not a valid ticket; tickets come from Kernel.At and Kernel.After.
+// The idx/slot pair is the scheduler-maintained location of the entry:
+// the heap uses idx alone (heap index), the calendar queue uses
+// (bucket, position-in-bucket).
 type Ticket struct {
-	k   *Kernel
-	idx int // heap index of the event; -1 once it ran or was cancelled
+	k    *Kernel
+	idx  int // scheduler location; doneIdx once it ran or was cancelled
+	slot int // secondary location coordinate (calendar queue only)
 }
 
 // Cancel removes the event from the schedule if it has not run yet. Cancel
 // is idempotent and reports whether the event was actually cancelled (false
 // if it already ran or was already cancelled). The captured handler is
-// released immediately; the heap slot itself is reclaimed lazily (on pop or
-// at the next compaction).
+// released immediately; the storage slot itself is reclaimed lazily (on pop
+// or at the next compaction).
 func (t *Ticket) Cancel() bool {
-	if t == nil || t.k == nil || t.idx < 0 {
+	if t == nil || t.k == nil || t.idx == doneIdx {
 		return false
 	}
-	k := t.k
-	ev := &k.heap[t.idx]
-	ev.dead = true
-	ev.fn = nil // release captured state promptly
-	ev.ticket = nil
-	t.idx = -1
-	k.live--
-	k.dead++
-	k.maybeCompact()
+	t.k.sched.Cancel(t)
+	t.idx = doneIdx
 	return true
 }
 
 // Pending reports whether the event is still scheduled.
-func (t *Ticket) Pending() bool { return t != nil && t.idx >= 0 }
+func (t *Ticket) Pending() bool { return t != nil && t.k != nil && t.idx != doneIdx }
 
-// compactMinLen is the heap length below which compaction is never
+// compactMinLen is the queue length below which compaction is never
 // worthwhile: popping the few dead entries lazily is cheaper than a sweep.
 const compactMinLen = 64
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; create
-// one with New. Kernel is not safe for concurrent use: simulations are
-// single-threaded by design, and cross-run parallelism is achieved by
-// running independent Kernels on separate goroutines.
+// one with New, NewWith or NewNamed. Kernel is not safe for concurrent use:
+// simulations are single-threaded by design, and cross-run parallelism is
+// achieved by running independent Kernels on separate goroutines.
 type Kernel struct {
 	now       simtime.Time
-	heap      []event // 4-ary min-heap by (at, seq); the slice is the event pool
+	sched     Scheduler
 	seq       uint64
-	live      int // scheduled, not cancelled — Pending() in O(1)
-	dead      int // cancelled entries still occupying heap slots
 	executed  uint64
 	stopped   bool
 	running   bool
@@ -116,10 +142,34 @@ type Kernel struct {
 	observer  func() // post-event hook; see SetObserver
 }
 
-// New returns an empty kernel at virtual time zero.
+// New returns an empty kernel at virtual time zero, backed by the default
+// 4-ary heap scheduler.
 func New() *Kernel {
-	return &Kernel{}
+	return &Kernel{sched: newHeapScheduler()}
 }
+
+// NewWith returns an empty kernel backed by the given scheduler. A nil
+// scheduler selects the default heap.
+func NewWith(s Scheduler) *Kernel {
+	if s == nil {
+		s = newHeapScheduler()
+	}
+	return &Kernel{sched: s}
+}
+
+// NewNamed returns an empty kernel backed by the named scheduler (see
+// NewScheduler). The empty name selects the default heap.
+func NewNamed(name string) (*Kernel, error) {
+	s, err := NewScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{sched: s}, nil
+}
+
+// SchedulerName returns the registry name of the scheduler backing this
+// kernel.
+func (k *Kernel) SchedulerName() string { return k.sched.Name() }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() simtime.Time { return k.now }
@@ -128,21 +178,28 @@ func (k *Kernel) Now() simtime.Time { return k.now }
 // progress measure and a guard against runaway protocols in tests.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
-// Pending returns the number of scheduled (not yet executed, not cancelled)
-// events in O(1). Cancelled events still occupying heap slots are not
-// counted.
-func (k *Kernel) Pending() int { return k.live }
+// ScheduleSeq returns the insertion sequence number the next scheduled
+// event will be assigned. Together with an instant it lets hot paths detect
+// "nothing has been scheduled since": the channel layer uses it to merge
+// same-instant deliveries into one batched event without perturbing the
+// (at, seq) execution order.
+func (k *Kernel) ScheduleSeq() uint64 { return k.seq }
 
-// QueueLen returns the number of heap slots currently in use, including
+// Pending returns the number of scheduled (not yet executed, not cancelled)
+// events in O(1). Cancelled events still occupying storage slots are not
+// counted.
+func (k *Kernel) Pending() int { return k.sched.Pending() }
+
+// QueueLen returns the number of storage slots currently in use, including
 // cancelled entries that have not been compacted away yet. It exists for
 // capacity accounting and tests: QueueLen−Pending is the dead backlog,
 // and compaction (triggered when dead entries outnumber live ones) keeps
 // QueueLen at most 2·Pending+compactMinLen.
-func (k *Kernel) QueueLen() int { return len(k.heap) }
+func (k *Kernel) QueueLen() int { return k.sched.Len() }
 
-// schedule validates and enqueues one event, returning its heap index.
-func (k *Kernel) schedule(at simtime.Time, fn Handler, ticket *Ticket) int {
-	if fn == nil {
+// schedule validates and enqueues one event.
+func (k *Kernel) schedule(at simtime.Time, fn Handler, afn ArgHandler, arg uint32, ticket *Ticket) {
+	if fn == nil && afn == nil {
 		panic("sim: scheduling a nil handler")
 	}
 	if !at.IsFinite() {
@@ -151,11 +208,8 @@ func (k *Kernel) schedule(at simtime.Time, fn Handler, ticket *Ticket) int {
 	if at.Before(k.now) {
 		panic(fmt.Sprintf("sim: scheduling into the past: now %v, requested %v", k.now, at))
 	}
-	ev := event{at: at, seq: k.seq, fn: fn, ticket: ticket}
+	k.sched.Schedule(event{at: at, seq: k.seq, fn: fn, afn: afn, arg: arg, ticket: ticket})
 	k.seq++
-	k.live++
-	k.heap = append(k.heap, ev)
-	return k.siftUp(len(k.heap) - 1)
 }
 
 // At schedules fn to run at instant at and returns a cancellation ticket.
@@ -165,7 +219,7 @@ func (k *Kernel) schedule(at simtime.Time, fn Handler, ticket *Ticket) int {
 // should prefer AtFunc, which skips the ticket allocation.
 func (k *Kernel) At(at simtime.Time, fn Handler) *Ticket {
 	t := &Ticket{k: k}
-	t.idx = k.schedule(at, fn, t)
+	k.schedule(at, fn, nil, 0, t)
 	return t
 }
 
@@ -174,7 +228,17 @@ func (k *Kernel) At(at simtime.Time, fn Handler) *Ticket {
 // is the hot path for the overwhelming share of events (message
 // deliveries, tick loops, fault timelines), which are never cancelled.
 func (k *Kernel) AtFunc(at simtime.Time, fn Handler) {
-	k.schedule(at, fn, nil)
+	k.schedule(at, fn, nil, 0, nil)
+}
+
+// AtArg schedules fn(arg) to run at instant at, ticketless. Unlike AtFunc,
+// the handler is parameterised, so one long-lived func value (typically a
+// method value) serves arbitrarily many events — no closure allocation per
+// event even when each event needs distinct state. The channel layer's
+// pooled delivery path is the intended caller: arg indexes into its
+// struct-of-arrays payload pool.
+func (k *Kernel) AtArg(at simtime.Time, fn ArgHandler, arg uint32) {
+	k.schedule(at, nil, fn, arg, nil)
 }
 
 // After schedules fn to run d time units from now and returns a
@@ -223,7 +287,8 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 //     past the horizon remains scheduled and time stops at the horizon),
 //   - Stop is called (returns ErrStopped),
 //   - more than maxEvents events execute, if maxEvents > 0 (returns an
-//     error; this guards against non-terminating protocols in tests).
+//     error matching ErrMaxEvents; this guards against non-terminating
+//     protocols in tests).
 func (k *Kernel) Run(horizon simtime.Time, maxEvents uint64) error {
 	if k.running {
 		return errors.New("sim: Run called reentrantly")
@@ -236,11 +301,11 @@ func (k *Kernel) Run(horizon simtime.Time, maxEvents uint64) error {
 		if k.stopped {
 			return ErrStopped
 		}
-		k.dropDead()
-		if len(k.heap) == 0 {
+		at, ok := k.sched.PeekTime()
+		if !ok {
 			return nil // drained
 		}
-		if k.heap[0].at.After(horizon) {
+		if at.After(horizon) {
 			// Leave the event scheduled and halt at the horizon. The clock
 			// only ever moves forward: a horizon already in the past (a
 			// resumed kernel driven with a smaller bound) must not rewind.
@@ -250,7 +315,7 @@ func (k *Kernel) Run(horizon simtime.Time, maxEvents uint64) error {
 			return nil
 		}
 		if maxEvents > 0 && k.executed-start >= maxEvents {
-			return fmt.Errorf("sim: exceeded %d events at %v (possible livelock)", maxEvents, k.now)
+			return fmt.Errorf("%w: exceeded %d events at %v", ErrMaxEvents, maxEvents, k.now)
 		}
 		k.execute()
 	}
@@ -274,11 +339,11 @@ func (k *Kernel) StepWithin(horizon simtime.Time) bool {
 	if k.stopped {
 		return false
 	}
-	k.dropDead()
-	if len(k.heap) == 0 {
+	at, ok := k.sched.PeekTime()
+	if !ok {
 		return false
 	}
-	if k.heap[0].at.After(horizon) {
+	if at.After(horizon) {
 		if horizon.After(k.now) {
 			k.now = horizon
 		}
@@ -288,143 +353,23 @@ func (k *Kernel) StepWithin(horizon simtime.Time) bool {
 	return true
 }
 
-// execute pops the root event (which must exist and be live) and runs it.
+// execute pops the earliest live event (which must exist) and runs it.
 func (k *Kernel) execute() {
-	ev := k.popRoot()
-	if ev.ticket != nil {
-		ev.ticket.idx = -1
+	ev, ok := k.sched.Pop()
+	if !ok {
+		panic("sim: execute with an empty schedule")
 	}
-	k.live--
-	// Executing live events shrinks the live population too, so the dead
-	// fraction can cross the compaction threshold here just as it can on
-	// Cancel — without this, a cancel-then-run workload would carry its
-	// dead entries until virtual time reached them.
-	k.maybeCompact()
+	if ev.ticket != nil {
+		ev.ticket.idx = doneIdx
+	}
 	k.now = ev.at
 	k.executed++
-	ev.fn()
+	if ev.afn != nil {
+		ev.afn(ev.arg)
+	} else {
+		ev.fn()
+	}
 	if k.observer != nil {
 		k.observer()
-	}
-}
-
-// dropDead discards cancelled events sitting at the heap root so the root
-// is either live or the heap is empty.
-func (k *Kernel) dropDead() {
-	for len(k.heap) > 0 && k.heap[0].dead {
-		k.popRoot()
-		k.dead--
-	}
-}
-
-// popRoot removes and returns the root event, maintaining the heap
-// property and ticket back-pointers. The vacated slot is zeroed so the
-// handler's captures are released.
-func (k *Kernel) popRoot() event {
-	ev := k.heap[0]
-	n := len(k.heap) - 1
-	if n > 0 {
-		k.heap[0] = k.heap[n]
-	}
-	k.heap[n] = event{}
-	k.heap = k.heap[:n]
-	if n > 0 {
-		k.siftDown(0) // also refreshes the moved entry's ticket index
-	}
-	return ev
-}
-
-// siftUp restores the heap property for the entry at index i by moving it
-// towards the root, updating ticket back-pointers of displaced entries. It
-// returns the entry's final index.
-func (k *Kernel) siftUp(i int) int {
-	ev := k.heap[i]
-	for i > 0 {
-		p := (i - 1) / 4
-		if !less(&ev, &k.heap[p]) {
-			break
-		}
-		k.heap[i] = k.heap[p]
-		if t := k.heap[i].ticket; t != nil {
-			t.idx = i
-		}
-		i = p
-	}
-	k.heap[i] = ev
-	if ev.ticket != nil {
-		ev.ticket.idx = i
-	}
-	return i
-}
-
-// siftDown restores the heap property for the entry at index i by moving it
-// towards the leaves, updating ticket back-pointers of displaced entries.
-func (k *Kernel) siftDown(i int) {
-	n := len(k.heap)
-	ev := k.heap[i]
-	for {
-		c := 4*i + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if less(&k.heap[j], &k.heap[m]) {
-				m = j
-			}
-		}
-		if !less(&k.heap[m], &ev) {
-			break
-		}
-		k.heap[i] = k.heap[m]
-		if t := k.heap[i].ticket; t != nil {
-			t.idx = i
-		}
-		i = m
-	}
-	k.heap[i] = ev
-	if ev.ticket != nil {
-		ev.ticket.idx = i
-	}
-}
-
-// maybeCompact sweeps cancelled entries out of the heap once they outnumber
-// the live ones (and the heap is big enough for the sweep to pay off). The
-// trigger depends only on counters, so compaction — like everything else
-// here — is a deterministic function of the schedule.
-func (k *Kernel) maybeCompact() {
-	if len(k.heap) >= compactMinLen && k.dead > len(k.heap)/2 {
-		k.compact()
-	}
-}
-
-// compact removes every dead entry in one pass and re-establishes the heap
-// property and ticket back-pointers. Pop order is unaffected: (at, seq)
-// is a total order, so any heap over the same live set pops identically.
-func (k *Kernel) compact() {
-	liveEvents := k.heap[:0]
-	for i := range k.heap {
-		if !k.heap[i].dead {
-			liveEvents = append(liveEvents, k.heap[i])
-		}
-	}
-	for i := len(liveEvents); i < len(k.heap); i++ {
-		k.heap[i] = event{} // release the vacated tail
-	}
-	k.heap = liveEvents
-	k.dead = 0
-	if n := len(k.heap); n > 1 {
-		for i := (n - 2) / 4; i >= 0; i-- {
-			k.siftDown(i)
-		}
-	}
-	for i := range k.heap {
-		if t := k.heap[i].ticket; t != nil {
-			t.idx = i
-		}
 	}
 }

@@ -82,6 +82,7 @@ func (s *Spec) BuildEnv() (runner.Env, error) {
 		env.Processing = d
 	}
 	env.Seed = e.Seed
+	env.Scheduler = e.Scheduler
 	if e.Horizon < 0 || math.IsInf(e.Horizon, 0) {
 		return runner.Env{}, fmt.Errorf("spec: horizon %g must be finite and non-negative", e.Horizon)
 	}

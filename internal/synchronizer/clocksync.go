@@ -37,6 +37,9 @@ type ClockSyncConfig struct {
 	Clocks clock.Model
 	// Seed drives the run.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation ("heap",
+	// "calendar"); empty means the default heap. Byte-identical either way.
+	Scheduler string
 }
 
 // ClockSyncResult reports the outcome of a clock-synchronized execution.
@@ -143,10 +146,11 @@ func RunClockSync(cfg ClockSyncConfig) (ClockSyncResult, error) {
 	var violations uint64
 	var maxLateness int
 	net, err := network.New(network.Config{
-		Graph:  cfg.Graph,
-		Links:  links,
-		Clocks: cfg.Clocks,
-		Seed:   cfg.Seed,
+		Graph:     cfg.Graph,
+		Links:     links,
+		Clocks:    cfg.Clocks,
+		Seed:      cfg.Seed,
+		Scheduler: cfg.Scheduler,
 	}, func(int) network.Node {
 		return &clockSyncNode{
 			period:      cfg.Period,

@@ -97,6 +97,9 @@ type Config struct {
 	MaxEvents uint64
 	// Seed drives all randomness.
 	Seed uint64
+	// Scheduler selects the kernel's event-queue implementation ("heap",
+	// "calendar"); empty means the default heap. Byte-identical either way.
+	Scheduler string
 	// Anonymous forbids protocol identity reads.
 	Anonymous bool
 }
@@ -181,6 +184,7 @@ func Run(cfg Config, makeNode func(i int) syncnet.Node) (Result, error) {
 		Links:     links,
 		Clocks:    cfg.Clocks,
 		Seed:      cfg.Seed,
+		Scheduler: cfg.Scheduler,
 		Anonymous: cfg.Anonymous,
 	}, func(i int) network.Node {
 		node, reporter := wrap(i, makeNode(i), cfg.Graph)

@@ -29,10 +29,14 @@ import (
 	"strings"
 )
 
-// benchmark is one benchmark's captured numbers.
+// benchmark is one benchmark's captured numbers. The allocation fields are
+// pointers so a genuine 0 allocs/op (the kernel's ticketless hot paths)
+// survives the round trip distinguishably from "run without -benchmem".
 type benchmark struct {
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // output is the BENCH_*.json document.
@@ -75,8 +79,12 @@ func main() {
 			continue
 		}
 		name := fields[0]
+		// Strip the -GOMAXPROCS suffix, but only when it is numeric so
+		// dashes inside sub-benchmark names (Link/random-delay) survive.
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i]
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
 		}
 		b := benchmark{}
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -84,14 +92,19 @@ func main() {
 			if err != nil {
 				continue
 			}
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				b.NsPerOp = v
-				continue
+			case "B/op":
+				b.BytesPerOp = &v
+			case "allocs/op":
+				b.AllocsPerOp = &v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[fields[i+1]] = v
 			}
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
-			}
-			b.Metrics[fields[i+1]] = v
 		}
 		out.Benchmarks[name] = b
 	}
@@ -166,5 +179,47 @@ func compare(path string, current output) error {
 				name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
 		}
 	}
+	compareAllocs(sorted, base, current)
 	return nil
+}
+
+// compareAllocs prints the allocation half of the comparison — allocs/op
+// per benchmark, with B/op in parentheses — for benchmarks where either
+// side recorded memory numbers (-benchmem). Unlike the smoke timings,
+// allocation counts are deterministic, so any delta is a real change in
+// the measured code path.
+func compareAllocs(sorted []string, base, current output) {
+	any := false
+	for _, name := range sorted {
+		if base.Benchmarks[name].AllocsPerOp != nil || current.Benchmarks[name].AllocsPerOp != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	cell := func(b benchmark) string {
+		if b.AllocsPerOp == nil {
+			return "—"
+		}
+		if b.BytesPerOp == nil {
+			return fmt.Sprintf("%.0f", *b.AllocsPerOp)
+		}
+		return fmt.Sprintf("%.0f (%.0f B)", *b.AllocsPerOp, *b.BytesPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "\nallocation comparison (allocs/op, deterministic — every delta is real)\n")
+	fmt.Fprintf(os.Stderr, "%-44s %18s %18s %9s\n", "benchmark", "baseline", "current", "delta")
+	for _, name := range sorted {
+		b, inBase := base.Benchmarks[name]
+		c, inCur := current.Benchmarks[name]
+		if (!inBase || b.AllocsPerOp == nil) && (!inCur || c.AllocsPerOp == nil) {
+			continue
+		}
+		delta := "—"
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *b.AllocsPerOp != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(*c.AllocsPerOp-*b.AllocsPerOp) / *b.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "%-44s %18s %18s %9s\n", name, cell(b), cell(c), delta)
+	}
 }

@@ -1,0 +1,116 @@
+package abenet_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"abenet"
+	"abenet/internal/probe"
+	"abenet/internal/simtime"
+	"abenet/internal/spec"
+	"abenet/internal/trace"
+)
+
+// TestSchedulerDifferentialDeterminism is the cross-scheduler analogue of
+// the golden pins: both kernel schedulers implement the same (time, seq)
+// total order, so every deterministic scenario in the registry — plain
+// elections, the comparison baselines, the synchronizers, consensus, the
+// fault- and adversary-injected golden runs, and observed/traced runs —
+// must produce byte-identical Reports under "heap" and "calendar". A
+// divergence here means a scheduler reordered same-instant events, which
+// would silently invalidate every golden pin the moment anyone flips the
+// performance knob.
+func TestSchedulerDifferentialDeterminism(t *testing.T) {
+	faultEnv, faultProto := goldenFaultEnv()
+	byzEnv, byzProto := goldenByzantineEnv()
+	scenarios := []struct {
+		name  string
+		env   abenet.Env
+		proto abenet.Protocol
+	}{
+		{"election", abenet.Env{N: 10, Seed: 7}, abenet.Election{}},
+		{"election/observed", abenet.Env{N: 8, Seed: 3,
+			Observe: &probe.Config{EveryEvents: 2, Interval: 0.5}}, abenet.Election{}},
+		{"election/traced", abenet.Env{N: 6, Seed: 5,
+			Trace: &trace.Config{}}, abenet.Election{}},
+		{"election/faults", faultEnv, faultProto},
+		{"ben-or/byzantine", byzEnv, byzProto},
+		{"chang-roberts", abenet.Env{N: 16, Seed: 11}, abenet.ChangRoberts{}},
+		{"peterson", abenet.Env{N: 16, Seed: 13}, abenet.Peterson{}},
+		{"itai-rodeh-async", abenet.Env{N: 8, Seed: 17}, abenet.ItaiRodehAsync{}},
+		{"itai-rodeh-sync", abenet.Env{N: 8, Seed: 19}, abenet.ItaiRodehSync{}},
+		{"synchronized-election", abenet.Env{N: 8, Seed: 23}, abenet.SynchronizedElection{}},
+		{"clock-sync", abenet.Env{N: 6, Seed: 29, MaxRounds: 40}, abenet.ClockSync{}},
+		{"ben-or/clean", abenet.Env{N: 7, Seed: 31, MaxRounds: 60}, abenet.BenOr{Init: "half"}},
+		{"election/arq-links", abenet.Env{N: 8, Seed: 37,
+			Links: abenet.ARQLinks(0.5, 1), Horizon: simtime.Time(50000)}, abenet.Election{}},
+		{"election/fifo-links", abenet.Env{N: 8, Seed: 41,
+			Links: abenet.FIFOLinks(abenet.Exponential(1))}, abenet.Election{}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			type rendered struct {
+				rep   abenet.Report
+				bytes string
+			}
+			runs := map[string]rendered{}
+			for _, sched := range abenet.Schedulers() {
+				env := sc.env
+				env.Scheduler = sched
+				rep, err := abenet.Run(env, sc.proto)
+				if err != nil {
+					t.Fatalf("%s: %v", sched, err)
+				}
+				// JSON flattens every pointer field (fault telemetry, series,
+				// trace) to content, so equal bytes mean equal values down to
+				// float bit patterns — Go renders each float's shortest exact
+				// representation.
+				b, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatalf("%s: marshal: %v", sched, err)
+				}
+				runs[sched] = rendered{rep: rep, bytes: string(b)}
+			}
+			ref := runs[abenet.SchedulerHeap]
+			for _, sched := range abenet.Schedulers() {
+				got := runs[sched]
+				if !reflect.DeepEqual(got.rep, ref.rep) {
+					t.Errorf("scheduler %q diverged from heap:\n heap:     %+v\n %s: %+v",
+						sched, ref.rep, sched, got.rep)
+				}
+				if got.bytes != ref.bytes {
+					t.Errorf("scheduler %q rendered report differs from heap:\n heap:     %s\n %s: %s",
+						sched, ref.bytes, sched, got.bytes)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerFieldSpecHashStable pins that env.scheduler stays outside
+// scenario identity: a spec with the field set hashes identically to the
+// same spec without it. Runs are byte-identical across schedulers (the test
+// above), so the knob must not split the service's result cache or change
+// any previously published spec hash.
+func TestSchedulerFieldSpecHashStable(t *testing.T) {
+	base := []byte(`{"version":1,"env":{"n":8,"seed":5},"protocol":{"name":"election"}}`)
+	withSched := []byte(`{"version":1,"env":{"n":8,"seed":5,"scheduler":"calendar"},"protocol":{"name":"election"}}`)
+
+	hash := func(raw []byte) string {
+		s, err := spec.DecodeBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := hash(base), hash(withSched)
+	if a != b {
+		t.Fatalf("env.scheduler changed the spec hash: %s vs %s", a, b)
+	}
+}
